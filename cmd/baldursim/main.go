@@ -1,0 +1,74 @@
+// Command baldursim runs a single network simulation: one network, one
+// traffic pattern, one load, and prints latency/drop statistics.
+//
+// Examples:
+//
+//	baldursim -net baldur -pattern transpose -load 0.7 -nodes 1024 -packets 10000
+//	baldursim -net dragonfly -pattern random_permutation -load 0.5
+//	baldursim -net baldur -workload FB -nodes 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"baldur/internal/exp"
+	"baldur/internal/sim"
+)
+
+func main() {
+	var (
+		network  = flag.String("net", "baldur", "network: baldur|multibutterfly|dragonfly|fattree|ideal")
+		pattern  = flag.String("pattern", "random_permutation", "traffic pattern: random_permutation|transpose|bisection|group_permutation|hotspot|ping_pong1|ping_pong2")
+		workload = flag.String("workload", "", "HPC workload instead of a pattern: AMG|BigFFT|CR|FB")
+		load     = flag.Float64("load", 0.7, "input load (fraction of line rate)")
+		nodes    = flag.Int("nodes", 1024, "Baldur/multi-butterfly node count (power of two)")
+		packets  = flag.Int("packets", 1000, "packets per node (or ping-pong rounds / trace iterations x100)")
+		dfP      = flag.Int("dragonfly-p", 4, "dragonfly parameter p (nodes = 2p^2(2p^2+1))")
+		ftK      = flag.Int("fattree-k", 16, "fat-tree radix k (nodes = k^3/4)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
+	)
+	flag.Parse()
+
+	sc := exp.Scale{
+		Name:           "cli",
+		Nodes:          *nodes,
+		PacketsPerNode: *packets,
+		DragonflyP:     *dfP,
+		FatTreeK:       *ftK,
+		TraceIters:     (*packets + 99) / 100,
+		Seed:           *seed,
+		MaxSimTime:     sim.Duration(*maxMS * 1e9),
+	}
+
+	var (
+		p   exp.Point
+		err error
+	)
+	switch {
+	case *workload != "":
+		p, err = exp.RunTrace(*network, *workload, sc)
+	case *pattern == "ping_pong1" || *pattern == "ping_pong2":
+		p, err = exp.RunPingPong(*network, *pattern, sc)
+	default:
+		p, err = exp.RunOpenLoop(*network, *pattern, *load, sc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baldursim:", err)
+		os.Exit(1)
+	}
+	what := *pattern
+	if *workload != "" {
+		what = *workload
+	}
+	fmt.Printf("network=%s workload=%s load=%.2f nodes=%d packets/node=%d\n",
+		*network, what, *load, *nodes, *packets)
+	fmt.Printf("avg latency:  %10.1f ns\n", p.AvgNS)
+	fmt.Printf("p99 latency:  %10.1f ns\n", p.TailNS)
+	fmt.Printf("drop rate:    %10.3f %%\n", p.DropRate*100)
+	if !p.Finished {
+		fmt.Println("warning: run hit the virtual-time safety horizon before draining")
+	}
+}

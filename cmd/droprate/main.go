@@ -1,0 +1,72 @@
+// Command droprate is the paper's "in-house tool" (Sec IV-E): it simulates
+// the worst-case single wave (one packet per node, all arriving at the first
+// stage simultaneously) to find the path multiplicity needed for a <1%
+// packet drop rate at scales up to and beyond one million nodes.
+//
+//	droprate -nodes 1048576 -m 5 -pattern random_permutation
+//	droprate -nodes 1024 -find            # smallest m with <1% drops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"baldur/internal/dropmodel"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 1024, "node count (power of two)")
+		m         = flag.Int("m", 4, "path multiplicity")
+		pattern   = flag.String("pattern", "random_permutation", "random_permutation|transpose|bisection|uniform_random")
+		find      = flag.Bool("find", false, "search for the smallest m achieving the threshold")
+		threshold = flag.Float64("threshold", 0.01, "drop-rate threshold for -find")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	if *find {
+		best, err := dropmodel.RequiredMultiplicity(*nodes, pat, *threshold, 8, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nodes=%d pattern=%s: smallest multiplicity with <%.1f%% worst-case drops: m=%d\n",
+			*nodes, pat, *threshold*100, best)
+		return
+	}
+	r, err := dropmodel.Simulate(*nodes, *m, pat, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nodes=%d m=%d pattern=%s\n", r.Nodes, r.Multiplicity, r.Pattern)
+	fmt.Printf("injected=%d dropped=%d drop rate=%.3f%%\n", r.Injected, r.Dropped, r.DropRate()*100)
+	for s, d := range r.DropsByStage {
+		if d > 0 {
+			fmt.Printf("  stage %2d: %d drops\n", s, d)
+		}
+	}
+}
+
+func parsePattern(name string) (dropmodel.Pattern, error) {
+	switch name {
+	case "random_permutation":
+		return dropmodel.RandomPerm, nil
+	case "transpose":
+		return dropmodel.TransposeP, nil
+	case "bisection":
+		return dropmodel.BisectionP, nil
+	case "uniform_random":
+		return dropmodel.UniformRandom, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "droprate:", err)
+	os.Exit(1)
+}

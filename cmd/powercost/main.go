@@ -1,0 +1,53 @@
+// Command powercost reports the power, cost and packaging of a Baldur
+// deployment (and the electrical baselines' power) at a given scale.
+//
+//	powercost -nodes 1048576
+//	powercost -nodes 1024 -detail
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"baldur/internal/cost"
+	"baldur/internal/packaging"
+	"baldur/internal/power"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 1024, "target node count")
+		detail = flag.Bool("detail", false, "print per-component breakdowns")
+	)
+	flag.Parse()
+
+	b := power.Baldur(*nodes)
+	mb := power.ElectricalMB(*nodes)
+	df := power.Dragonfly(*nodes)
+	ft := power.FatTree(*nodes)
+
+	fmt.Printf("power per node at ~%d nodes:\n", *nodes)
+	for _, bd := range []power.Breakdown{b, mb, df, ft} {
+		if *detail {
+			fmt.Println("  " + bd.String())
+		} else {
+			fmt.Printf("  %-26s %8.1f W/node (%d nodes)\n", bd.Network, bd.Total(), bd.Nodes)
+		}
+	}
+	fmt.Printf("baldur improvement: %.1fX (dragonfly) to %.1fX (multi-butterfly)\n\n",
+		df.Total()/b.Total(), mb.Total()/b.Total())
+
+	c := cost.Baldur(*nodes)
+	fmt.Printf("baldur cost: %.0f USD/node", c.Total())
+	if *detail {
+		fmt.Printf(" (interposers %.0f, transceivers %.0f, fibers %.0f, FAUs %.0f, RFECs %.0f)",
+			c.Interposers, c.Transceivers, c.Fibers, c.FAUs, c.RFECs)
+	}
+	fmt.Println()
+
+	p := packaging.PlanFor(*nodes)
+	fmt.Printf("packaging: %d interposers, %d PCBs, %d cabinets (fiber bound %d, power bound %d)\n",
+		p.Interposers, p.PCBs, p.Cabinets, p.CabinetsByFiber, p.CabinetsByPower)
+	fmt.Printf("network power: %.1f kW; TL gate area <= %.2f%% of interposer area\n",
+		p.TotalPowerKW, p.GateAreaFraction*100)
+}

@@ -1,0 +1,84 @@
+// hpcworkload replays two Design-Forward-style HPC communication traces
+// (AMG's 3-D halo exchange and FillBoundary's many-to-few AMR pattern, the
+// paper's "FB") on Baldur, a fat-tree and a dragonfly, and compares average
+// and tail packet latency — a small-scale rendition of the paper's Fig 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"baldur"
+)
+
+func main() {
+	workloads := map[string]func(int, baldur.TraceOptions) *baldur.Workload{
+		"AMG (3-D halo exchange)": baldur.AMG,
+		"FB  (AMR boundary fill)": baldur.FillBoundary,
+		"CR  (crystal router)":    baldur.CrystalRouter,
+		"FFT (phased all-to-all)": baldur.BigFFT,
+	}
+	order := []string{
+		"AMG (3-D halo exchange)",
+		"FB  (AMR boundary fill)",
+		"CR  (crystal router)",
+		"FFT (phased all-to-all)",
+	}
+
+	for _, name := range order {
+		gen := workloads[name]
+		fmt.Printf("== %s ==\n", name)
+		baseline := 0.0
+		for _, netName := range []string{"baldur", "fattree", "dragonfly"} {
+			net, nodes := buildNet(netName)
+			w := gen(nodes, baldur.TraceOptions{Iterations: 2, Seed: 3})
+
+			var col baldur.Collector
+			col.Attach(net)
+			rep, err := baldur.NewReplayer(net, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := rep.Run()
+			if !st.Completed {
+				log.Fatalf("%s on %s did not complete", name, netName)
+			}
+			note := ""
+			if netName == "baldur" {
+				baseline = col.AvgNS()
+			} else if baseline > 0 {
+				note = fmt.Sprintf("  (%.2fx Baldur)", col.AvgNS()/baseline)
+			}
+			fmt.Printf("  %-10s avg %8.1f ns  p99 %8.1f ns  makespan %v%s\n",
+				netName, col.AvgNS(), col.TailNS(), st.Makespan, note)
+		}
+		fmt.Println()
+	}
+}
+
+// buildNet constructs a network with roughly matched node counts
+// (64 Baldur / 54 fat-tree / 72 dragonfly).
+func buildNet(name string) (baldur.Interconnect, int) {
+	switch name {
+	case "baldur":
+		n, err := baldur.New(baldur.Config{Nodes: 64, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n, 64
+	case "fattree":
+		n, err := baldur.NewFatTree(baldur.FatTreeConfig{K: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n, n.NumNodes()
+	case "dragonfly":
+		n, err := baldur.NewDragonfly(baldur.DragonflyConfig{P: 2, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n, n.NumNodes()
+	}
+	log.Fatalf("unknown network %q", name)
+	return nil, 0
+}

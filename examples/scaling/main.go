@@ -1,0 +1,41 @@
+// scaling sweeps Baldur (and the electrical baselines) from 1K to over 1M
+// server nodes and prints power per node, deployment cost and cabinet
+// counts — the paper's exascale-scalability story (Figs 8 and 10, Sec IV-G)
+// in one program.
+package main
+
+import (
+	"fmt"
+
+	"baldur/internal/cost"
+	"baldur/internal/packaging"
+	"baldur/internal/power"
+)
+
+func main() {
+	fmt.Println("Scale sweep: power (W/node), cost (USD/node), cabinets")
+	fmt.Printf("%10s  %8s %8s %8s %8s  %9s  %9s\n",
+		"nodes", "baldur", "mb", "dfly", "ftree", "cost", "cabinets")
+	for _, target := range power.Scales {
+		b := power.Baldur(target)
+		mb := power.ElectricalMB(target)
+		df := power.Dragonfly(target)
+		ft := power.FatTree(target)
+		c := cost.Baldur(target)
+		plan := packaging.PlanFor(target)
+		fmt.Printf("%10d  %8.1f %8.1f %8.1f %8.1f  %8.0f$  %9d\n",
+			b.Nodes, b.Total(), mb.Total(), df.Total(), ft.Total(),
+			c.Total(), plan.Cabinets)
+	}
+
+	b1 := power.Baldur(1024)
+	b1M := power.Baldur(1 << 20)
+	fmt.Printf("\nBaldur power grows only %.1fx from 1K to 1M nodes (paper: 1.7x);\n",
+		b1M.Total()/b1.Total())
+	fmt.Printf("at the 1M scale it is %.1fx to %.1fx more efficient than the baselines\n",
+		power.Dragonfly(1<<20).Total()/b1M.Total(),
+		power.ElectricalMB(1<<20).Total()/b1M.Total())
+	fmt.Printf("(paper: 14.6x-31.0x), and the whole network occupies %d cabinets\n",
+		packaging.PlanFor(1<<20).Cabinets)
+	fmt.Println("(paper: 752, fiber-pitch limited).")
+}

@@ -1,0 +1,3 @@
+module baldur
+
+go 1.22

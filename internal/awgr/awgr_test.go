@@ -1,0 +1,48 @@
+package awgr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaldurPowerNearPaper(t *testing.T) {
+	// Sec VII: 0.7 W per node of TL-chip power at 32 nodes, m=3.
+	got := BaldurPowerPerNode()
+	if math.Abs(got-0.7) > 0.1 {
+		t.Errorf("Baldur power = %.3f W/node, paper reports 0.7", got)
+	}
+}
+
+func TestAWGRPowerNearPaper(t *testing.T) {
+	// Sec VII: 4.2 W per node for the AWGR network.
+	got := AWGRPowerPerNode()
+	if math.Abs(got-4.2) > 0.1 {
+		t.Errorf("AWGR power = %.3f W/node, paper reports 4.2", got)
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	c := Compare()
+	if c.PowerRatio < 5 || c.PowerRatio > 7 {
+		t.Errorf("power ratio = %.1fX, paper's figures imply 6X", c.PowerRatio)
+	}
+	if c.BaldurSwitchNS >= c.AWGRHeaderNS {
+		t.Errorf("Baldur switching %.2f ns not below AWGR header %.0f ns",
+			c.BaldurSwitchNS, c.AWGRHeaderNS)
+	}
+	// 5 stages x 0.94 ns = 4.7 ns total.
+	if math.Abs(c.BaldurSwitchNS-4.7) > 0.01 {
+		t.Errorf("Baldur total switching = %v, want 4.7 ns", c.BaldurSwitchNS)
+	}
+	if c.AWGRScalabilityCap != 128<<10 {
+		t.Errorf("AWGR cap = %d", c.AWGRScalabilityCap)
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	// 200 ns links + 4.7 ns switching + 163.84 ns serialization.
+	got := BaldurZeroLoadLatency().Nanoseconds()
+	if math.Abs(got-368.54) > 1 {
+		t.Errorf("zero-load latency = %.2f ns, want ~368.5", got)
+	}
+}

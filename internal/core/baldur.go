@@ -1,0 +1,401 @@
+// Package core implements the Baldur network simulator: the paper's primary
+// contribution. Baldur is a bufferless, clock-less multi-butterfly of 2x2
+// all-optical TL switches with path multiplicity. Packets are switched
+// on-the-fly in the optical domain; congestion is handled by dropping the
+// losing packet, and the server-node NICs provide reliability through ACKs,
+// local-timer retransmission and binary exponential backoff (Sec IV-E).
+//
+// Model fidelity: the per-stage latency, the number of gates and the
+// multiplicity-dependent drop behaviour follow Table V; links and packet
+// sizes follow Table VI (100 ns host links, 25 Gbps line rate, 512 B
+// packets). Switches never buffer: an output wire of the routed direction is
+// either free at head-arrival time — and then carries the packet for its
+// full serialization — or the packet is dropped at that stage.
+package core
+
+import (
+	"fmt"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+	"baldur/internal/stats"
+	"baldur/internal/tl"
+	"baldur/internal/topo"
+)
+
+// Config parametrizes a Baldur network. The zero value is completed by
+// applyDefaults to the paper's Table VI configuration.
+type Config struct {
+	// Nodes is the number of server nodes (a power of two >= 4).
+	Nodes int
+	// Multiplicity is the path multiplicity m; 0 selects the paper's
+	// design rule for the node count (tl.RequiredMultiplicity).
+	Multiplicity int
+	// PacketSize is the data packet size in bytes (default 512).
+	PacketSize int
+	// AckSize is the acknowledgement size in bytes (default 32).
+	AckSize int
+	// LinkRate is the line data rate in bit/s (default 25 Gbps).
+	LinkRate float64
+	// LinkDelay is the host-to-network (and network-to-host) fiber delay
+	// (default 100 ns, Table VI).
+	LinkDelay sim.Duration
+	// InterStageDelay is the waveguide delay between stages inside the
+	// optical interposers (default 0; the paper folds it into the 100 ns
+	// links).
+	InterStageDelay sim.Duration
+	// SwitchLatency is the per-stage switch latency; 0 selects Table V's
+	// value for the multiplicity.
+	SwitchLatency sim.Duration
+	// RTO is the retransmission timeout; 0 derives it from the zero-load
+	// round trip plus margin.
+	RTO sim.Duration
+	// BEBSlot is the binary-exponential-backoff slot (default 200 ns,
+	// about one zero-load round trip).
+	BEBSlot sim.Duration
+	// MaxBackoffExp caps the backoff exponent (default 10, as in
+	// classical BEB).
+	MaxBackoffExp int
+	// DisableBEB turns binary exponential backoff off (ablation).
+	DisableBEB bool
+	// DisableRetransmit turns the whole reliability protocol off: drops
+	// become losses. Used for raw drop-rate measurements (Table V).
+	DisableRetransmit bool
+	// RegularWiring replaces the randomized inter-stage matchings with a
+	// classic deterministic butterfly (ablation of the expansion
+	// property: without randomization the network is not immune to
+	// worst-case permutations, Sec IV-E). Equivalent to
+	// Topology == "butterfly".
+	RegularWiring bool
+	// Topology selects the multi-stage wiring: "" or "multibutterfly"
+	// (randomized matchings, the paper's design), "butterfly" (regular,
+	// ablation) or "omega" (perfect-shuffle stages — the paper expects
+	// equivalent behaviour across multi-stage topologies, Sec IV).
+	Topology string
+	// Wavelengths enables wavelength-division multiplexing on the
+	// network wires: each inter-stage wire carries this many independent
+	// lambda channels (Sec III notes TLs of different bandgaps support
+	// WDM). Host links remain single-channel (one modulator per NIC).
+	// Default 1 (the paper's evaluated configuration).
+	Wavelengths int
+	// Seed drives topology randomization and backoff draws.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Nodes == 0 {
+		c.Nodes = 1024
+	}
+	if c.Multiplicity == 0 {
+		c.Multiplicity = tl.RequiredMultiplicity(c.Nodes)
+	}
+	if c.Multiplicity < 1 {
+		return fmt.Errorf("core: multiplicity %d < 1", c.Multiplicity)
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 512
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 32
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = 25e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 100 * sim.Nanosecond
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = sim.Nanoseconds(tl.SwitchLatencyNS(c.Multiplicity))
+	}
+	if c.BEBSlot == 0 {
+		c.BEBSlot = 200 * sim.Nanosecond
+	}
+	if c.MaxBackoffExp == 0 {
+		c.MaxBackoffExp = 10
+	}
+	if c.Wavelengths == 0 {
+		c.Wavelengths = 1
+	}
+	if c.Wavelengths < 1 {
+		return fmt.Errorf("core: wavelengths %d < 1", c.Wavelengths)
+	}
+	return nil
+}
+
+// Stats aggregates the network-wide counters of one run.
+type Stats struct {
+	Injected        uint64 // unique data packets handed to Send
+	Delivered       uint64 // unique data packets delivered
+	Duplicates      uint64 // redundant deliveries discarded by dedup
+	DataAttempts    uint64 // data transmissions entering stage 0
+	DataDrops       uint64 // data transmissions dropped in-network
+	AckAttempts     uint64
+	AckDrops        uint64
+	Retransmissions uint64
+	// DropsByStage histograms where contention bites.
+	DropsByStage []uint64
+	// MaxRetxBufBytes is the high-water mark of any node's unACKed
+	// buffer (the paper provisions 1 MB; measures 536 KB at load 0.7).
+	MaxRetxBufBytes int
+	// AckLatency collects ACK round-trip times (ns) for diagnostics.
+	AckLatency stats.Running
+}
+
+// DataDropRate returns dropped / attempted data transmissions, the metric
+// of Table V.
+func (s *Stats) DataDropRate() float64 {
+	if s.DataAttempts == 0 {
+		return 0
+	}
+	return float64(s.DataDrops) / float64(s.DataAttempts)
+}
+
+// Network is a Baldur network instance. It implements netsim.Network.
+type Network struct {
+	cfg  Config
+	eng  *sim.Engine
+	mb   *topo.MultiButterfly
+	rng  *sim.RNG
+	nics []*nic
+
+	// busy[s][k*2m+d*m+p] is the time until which that output wire of
+	// switch k at stage s is carrying a packet.
+	busy [][]sim.Time
+
+	onDeliver []func(*netsim.Packet, sim.Time)
+	nextID    uint64
+	gap       sim.Duration // inter-packet dark gap a wire needs (6T + margin)
+	duration  sim.Duration // data packet wire occupancy
+	ackDur    sim.Duration
+	rto       sim.Duration
+
+	// dbgDrop, when non-nil, observes every drop (testing hook).
+	dbgDrop func(p *netsim.Packet, stage int)
+
+	// fault, when set, marks one switch as dropping everything
+	// (Sec IV-F diagnosis support); testPath >= 0 forces deterministic
+	// single-path routing.
+	fault    *FaultSpec
+	testPath int
+
+	Stats Stats
+}
+
+// New builds a Baldur network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	topoName := cfg.Topology
+	if cfg.RegularWiring {
+		topoName = "butterfly"
+	}
+	var mb *topo.MultiButterfly
+	var err error
+	switch topoName {
+	case "", "multibutterfly":
+		mb, err = topo.NewMultiButterfly(cfg.Nodes, cfg.Multiplicity, cfg.Seed)
+	case "butterfly":
+		mb, err = topo.NewRegularButterfly(cfg.Nodes, cfg.Multiplicity)
+	case "omega":
+		mb, err = topo.NewOmega(cfg.Nodes, cfg.Multiplicity)
+	case "benes":
+		mb, err = topo.NewBenes(cfg.Nodes, cfg.Multiplicity, cfg.Seed, true)
+	case "benes-regular":
+		// Regular wiring, random routing: isolates the two randomness
+		// sources (wiring vs Valiant distribution).
+		mb, err = topo.NewBenes(cfg.Nodes, cfg.Multiplicity, cfg.Seed, false)
+	default:
+		return nil, fmt.Errorf("core: unknown topology %q", cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg: cfg,
+		eng: sim.NewEngine(),
+		mb:  mb,
+		rng: sim.NewRNG(cfg.Seed ^ 0xba1d0e),
+	}
+	n.duration = sim.SerializationTime(cfg.PacketSize, cfg.LinkRate) + headerDuration(mb.Stages)
+	n.ackDur = sim.SerializationTime(cfg.AckSize, cfg.LinkRate) + headerDuration(mb.Stages)
+	// A wire must stay dark for 6T (the end-of-packet window of the line
+	// activity detector) plus latch-recycle margin between packets.
+	n.gap = sim.Nanoseconds(0.25)
+	if cfg.RTO == 0 {
+		// Zero-load round trip: two host links each way, the stage
+		// pipeline each way, plus both serializations — then 3x margin
+		// for queueing at the receiver before the ACK goes out.
+		oneWay := 2*cfg.LinkDelay + sim.Duration(mb.Stages)*(cfg.SwitchLatency+cfg.InterStageDelay)
+		rtt := 2*oneWay + n.duration + n.ackDur
+		n.rto = 3 * rtt
+	} else {
+		n.rto = cfg.RTO
+	}
+	n.busy = make([][]sim.Time, mb.Stages)
+	for s := range n.busy {
+		// One slot per (wire, lambda channel).
+		n.busy[s] = make([]sim.Time, mb.SwitchesPerStage()*2*cfg.Multiplicity*cfg.Wavelengths)
+	}
+	n.Stats.DropsByStage = make([]uint64, mb.Stages)
+	n.testPath = -1
+	n.nics = make([]*nic, cfg.Nodes)
+	for i := range n.nics {
+		n.nics[i] = newNIC(n, i)
+	}
+	return n, nil
+}
+
+// headerDuration is the on-wire time of the length-encoded routing header:
+// one 3T slot per stage at the 60 Gbps encoding rate (T = 16.667 ps).
+func headerDuration(stages int) sim.Duration {
+	const slotPS = 50 // 3T = 50 ps
+	return sim.Duration(stages*slotPS) * sim.Picosecond
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return n.cfg.Nodes }
+
+// Config returns the effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Multiplicity returns the effective path multiplicity.
+func (n *Network) Multiplicity() int { return n.cfg.Multiplicity }
+
+// Stages returns the number of switch stages (log2 N).
+func (n *Network) Stages() int { return n.mb.Stages }
+
+// OnDeliver registers a unique-delivery callback. Multiple callbacks are
+// invoked in registration order (e.g. a stats collector plus a closed-loop
+// workload driver).
+func (n *Network) OnDeliver(fn func(p *netsim.Packet, at sim.Time)) {
+	n.onDeliver = append(n.onDeliver, fn)
+}
+
+// Send creates and enqueues a data packet. It panics on invalid node ids
+// (always a workload bug).
+func (n *Network) Send(src, dst, size int) *netsim.Packet {
+	if src < 0 || src >= n.cfg.Nodes || dst < 0 || dst >= n.cfg.Nodes {
+		panic(fmt.Sprintf("core: Send(%d,%d) outside [0,%d)", src, dst, n.cfg.Nodes))
+	}
+	if size <= 0 {
+		size = n.cfg.PacketSize
+	}
+	n.nextID++
+	nic := n.nics[src]
+	p := &netsim.Packet{
+		ID:      n.nextID,
+		Src:     src,
+		Dst:     dst,
+		Size:    size,
+		Created: n.eng.Now(),
+		Seq:     nic.nextSeq,
+	}
+	nic.nextSeq++
+	n.Stats.Injected++
+	nic.enqueueData(p)
+	return p
+}
+
+// Pending reports whether any data packet is still in flight or queued
+// anywhere (used by harnesses to decide when a run has drained).
+func (n *Network) Pending() bool {
+	for _, nc := range n.nics {
+		if len(nc.queue) > 0 || len(nc.outstanding) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// traverse evaluates a transmission's full path through the network. It is
+// called once, when the head reaches stage 0; because every packet incurs
+// the identical per-stage latency, head arrivals at every stage preserve
+// injection order, so wire occupancy can be resolved immediately for the
+// whole path without per-stage events.
+func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
+	m := n.cfg.Multiplicity
+	dur := n.duration
+	if p.Ack {
+		dur = n.ackDur
+		n.Stats.AckAttempts++
+	} else {
+		n.Stats.DataAttempts++
+	}
+	perStage := n.cfg.SwitchLatency + n.cfg.InterStageDelay
+	sw, _ := n.mb.InjectionSwitch(p.Src)
+	t := t0
+	for s := 0; s < n.mb.Stages; s++ {
+		if n.fault != nil && n.fault.Stage == s && n.fault.Switch == sw {
+			n.drop(p, s) // the faulty switch loses everything
+			return
+		}
+		d := n.routeBit(p, s)
+		w := n.cfg.Wavelengths
+		base := (int(sw)*2*m + d*m) * w
+		found := -1 // slot index: path*W + lambda
+		if n.testPath >= 0 {
+			// Diagnostic mode: only the configured path is enabled
+			// (lambda 0).
+			if n.busy[s][base+n.testPath*w] <= t {
+				found = n.testPath * w
+			}
+		} else {
+			for q := 0; q < m*w; q++ {
+				if n.busy[s][base+q] <= t {
+					found = q
+					break
+				}
+			}
+		}
+		if found < 0 {
+			// Every (path, lambda) of the direction is carrying a
+			// packet: bufferless drop. Wires already granted
+			// upstream still carry the dead packet's light; they
+			// stay occupied.
+			n.drop(p, s)
+			return
+		}
+		n.busy[s][base+found] = t.Add(dur + n.gap)
+		ref := n.mb.OutWire(s, sw, d, found/w)
+		sw = ref.Switch
+		t = t.Add(perStage)
+	}
+	// sw is now the destination node id; last bit lands after the output
+	// host link plus the serialization time.
+	dst := int(sw)
+	deliverAt := t.Add(n.cfg.LinkDelay + dur)
+	n.eng.At(deliverAt, func() { n.nics[dst].receive(p, deliverAt) })
+}
+
+// routeBit returns the output direction for packet p at stage s: a
+// per-attempt random bit in a Benes distribution stage, the destination bit
+// otherwise.
+func (n *Network) routeBit(p *netsim.Packet, s int) int {
+	if s < n.mb.DistStages {
+		return int(p.RouteTag>>uint(s)) & 1
+	}
+	return n.mb.RoutingBit(p.Dst, s)
+}
+
+func (n *Network) drop(p *netsim.Packet, stage int) {
+	n.Stats.DropsByStage[stage]++
+	if n.dbgDrop != nil {
+		n.dbgDrop(p, stage)
+	}
+	if p.Ack {
+		n.Stats.AckDrops++
+		return
+	}
+	n.Stats.DataDrops++
+	// The source discovers the loss via its local timer; nothing else to
+	// do here — the timeout event is already scheduled.
+	if n.cfg.DisableRetransmit {
+		// Without the protocol the packet is simply lost; drop it from
+		// the source's outstanding set so Pending() can drain.
+		n.nics[p.Src].forget(p)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+	"baldur/internal/topo"
+)
+
+// Fault support (Sec IV-F): Baldur provides diagnosis hooks so an error can
+// be isolated to a single 2x2 switch. With multiplicity 1 every packet's
+// path is deterministic; with m > 1 the switches accept test signals that
+// enable only one output path at a time, restoring determinism for the test
+// procedure.
+
+// FaultSpec identifies a faulty switch: every packet crossing it is lost.
+type FaultSpec struct {
+	Stage  int
+	Switch int32
+}
+
+// InjectFault marks a switch as faulty. Packets that reach it are dropped
+// silently (counted in Stats as drops at that stage). Passing a negative
+// stage clears the fault.
+func (n *Network) InjectFault(f FaultSpec) error {
+	if f.Stage < 0 {
+		n.fault = nil
+		return nil
+	}
+	if f.Stage >= n.mb.Stages || f.Switch < 0 || int(f.Switch) >= n.mb.SwitchesPerStage() {
+		return fmt.Errorf("core: fault %+v out of range", f)
+	}
+	n.fault = &f
+	return nil
+}
+
+// SetTestMode forces deterministic single-path routing: every switch uses
+// only output path `path` of the routed direction (the diagnostic
+// configuration of Sec IV-F). Pass -1 to restore normal multi-path
+// arbitration.
+func (n *Network) SetTestMode(path int) error {
+	if path >= n.cfg.Multiplicity {
+		return fmt.Errorf("core: test path %d >= multiplicity %d", path, n.cfg.Multiplicity)
+	}
+	n.testPath = path
+	return nil
+}
+
+// Wiring exposes the topology for diagnosis tooling.
+func (n *Network) Wiring() *topo.MultiButterfly { return n.mb }
+
+// ProbePath sends one test packet from src to dst in the current test mode
+// and reports whether it was delivered. It runs the engine to completion,
+// so use it on an otherwise idle network built with DisableRetransmit (a
+// probe lost to a fault would otherwise be retransmitted forever).
+func (n *Network) ProbePath(src, dst int) bool {
+	if !n.cfg.DisableRetransmit {
+		panic("core: ProbePath requires DisableRetransmit (diagnosis runs without the reliability protocol)")
+	}
+	delivered := false
+	// Register a one-shot observer keyed on a sentinel size.
+	const probeSize = 64
+	n.OnDeliver(func(p *netsim.Packet, _ sim.Time) {
+		if p.Src == src && p.Dst == dst && p.Size == probeSize {
+			delivered = true
+		}
+	})
+	n.eng.At(n.eng.Now(), func() { n.Send(src, dst, probeSize) })
+	n.eng.Run()
+	// Remove the observer to keep ProbePath reusable.
+	n.onDeliver = n.onDeliver[:len(n.onDeliver)-1]
+	return delivered
+}

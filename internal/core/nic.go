@@ -1,0 +1,247 @@
+package core
+
+import (
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// nic models a server node's network interface: a transmit queue feeding
+// the single 25 Gbps injection wire, the retransmission buffer holding
+// unACKed packets, the local retransmission timer, binary exponential
+// backoff, and receive-side deduplication plus ACK generation (Sec IV-E).
+type nic struct {
+	net *Network
+	id  int
+
+	// Transmit side. ACKs are prepended (control priority); data appends.
+	queue      []*netsim.Packet
+	sending    bool
+	wireFreeAt sim.Time
+	nextSeq    uint64
+
+	// Reliability state: unACKed data packets by sequence.
+	outstanding map[uint64]*netsim.Packet
+	retxBytes   int
+
+	// Receive side dedup, per source.
+	seen map[int]*seqTracker
+}
+
+func newNIC(n *Network, id int) *nic {
+	return &nic{
+		net:         n,
+		id:          id,
+		outstanding: make(map[uint64]*netsim.Packet),
+		seen:        make(map[int]*seqTracker),
+	}
+}
+
+func (c *nic) enqueueData(p *netsim.Packet) {
+	c.queue = append(c.queue, p)
+	if !c.net.cfg.DisableRetransmit {
+		c.outstanding[p.Seq] = p
+		c.retxBytes += p.Size
+		if c.retxBytes > c.net.Stats.MaxRetxBufBytes {
+			c.net.Stats.MaxRetxBufBytes = c.retxBytes
+		}
+	}
+	c.pump()
+}
+
+func (c *nic) enqueueAckFront(p *netsim.Packet) {
+	c.queue = append([]*netsim.Packet{p}, c.queue...)
+	c.pump()
+}
+
+// requeueFront schedules a retransmission at the head of the queue.
+func (c *nic) requeueFront(p *netsim.Packet) {
+	c.queue = append([]*netsim.Packet{p}, c.queue...)
+	c.pump()
+}
+
+// forget removes a packet from the reliability state (ACK received, or the
+// protocol is disabled and the packet was dropped).
+func (c *nic) forget(p *netsim.Packet) {
+	if _, ok := c.outstanding[p.Seq]; ok {
+		delete(c.outstanding, p.Seq)
+		c.retxBytes -= p.Size
+	}
+}
+
+// pump starts transmitting the head-of-queue packet if the wire is free.
+func (c *nic) pump() {
+	if c.sending || len(c.queue) == 0 {
+		return
+	}
+	p := c.queue[0]
+	if p.Acked {
+		// The ACK overtook the retransmission: discard silently.
+		c.queue = c.queue[1:]
+		c.pump()
+		return
+	}
+	now := c.net.eng.Now()
+	start := now
+	if c.wireFreeAt > start {
+		start = c.wireFreeAt
+	}
+	if p.NotBefore > start {
+		start = p.NotBefore // backoff window (head-of-line by design:
+		// BEB throttles the whole transmitter, Sec IV-E)
+	}
+	c.queue = c.queue[1:]
+	c.sending = true
+	if start == now {
+		c.transmit(p)
+		return
+	}
+	c.net.eng.At(start, func() { c.transmit(p) })
+}
+
+// transmit puts p on the injection wire at the current time.
+func (c *nic) transmit(p *netsim.Packet) {
+	n := c.net
+	now := n.eng.Now()
+	if p.Acked {
+		c.sending = false
+		c.pump()
+		return
+	}
+	dur := n.duration
+	if p.Ack {
+		dur = n.ackDur
+	}
+	if n.mb.DistStages > 0 {
+		// Fresh Valiant bits per attempt: a retransmission takes a new
+		// random path through the distribution stages.
+		p.RouteTag = n.rng.Uint64()
+	}
+	c.wireFreeAt = now.Add(dur + n.gap)
+	// The head reaches the first-stage switch after the host fiber.
+	headAt := now.Add(n.cfg.LinkDelay)
+	n.eng.At(headAt, func() { n.traverse(p, headAt) })
+	// Local retransmission timer for data packets.
+	if !p.Ack && !n.cfg.DisableRetransmit {
+		seq, attempt := p.Seq, p.Retries
+		n.eng.At(now.Add(n.rto), func() { c.timeout(seq, attempt) })
+	}
+	// Wire becomes free: send the next queued packet.
+	n.eng.At(c.wireFreeAt, func() {
+		c.sending = false
+		c.pump()
+	})
+}
+
+// timeout fires RTO after a transmission attempt; if the packet is still
+// unACKed and no newer attempt superseded this timer, retransmit with
+// binary exponential backoff.
+func (c *nic) timeout(seq uint64, attempt int) {
+	p, ok := c.outstanding[seq]
+	if !ok || p.Retries != attempt {
+		return // ACKed, or a newer attempt owns the timer
+	}
+	n := c.net
+	p.Retries++
+	n.Stats.Retransmissions++
+	if !n.cfg.DisableBEB {
+		exp := p.Retries
+		if exp > n.cfg.MaxBackoffExp {
+			exp = n.cfg.MaxBackoffExp
+		}
+		window := 1 << exp
+		slots := n.rng.Intn(window)
+		p.NotBefore = n.eng.Now().Add(sim.Duration(slots) * n.cfg.BEBSlot)
+	}
+	c.requeueFront(p)
+}
+
+// receive handles a packet arriving at this node.
+func (c *nic) receive(p *netsim.Packet, at sim.Time) {
+	n := c.net
+	if p.Ack {
+		// We are the original sender: the ACK closes the loop.
+		src := n.nics[p.Dst] // ACK's Dst is the data packet's source
+		if data, ok := src.outstanding[p.AckFor]; ok {
+			data.Acked = true
+			src.forget(data)
+			n.Stats.AckLatency.Add(float64(at.Sub(data.Created).Nanoseconds()))
+		}
+		return
+	}
+	if n.cfg.DisableRetransmit {
+		c.deliverUnique(p, at)
+		return
+	}
+	// Dedup, then always ACK (the original ACK may have been lost).
+	tr := c.seen[p.Src]
+	if tr == nil {
+		tr = &seqTracker{}
+		c.seen[p.Src] = tr
+	}
+	fresh := tr.record(p.Seq)
+	if fresh {
+		c.deliverUnique(p, at)
+	} else {
+		n.Stats.Duplicates++
+	}
+	ack := &netsim.Packet{
+		ID:      0, // ACKs are anonymous
+		Src:     c.id,
+		Dst:     p.Src,
+		Size:    n.cfg.AckSize,
+		Created: at,
+		Ack:     true,
+		AckFor:  p.Seq,
+	}
+	c.enqueueAckFront(ack)
+}
+
+func (c *nic) deliverUnique(p *netsim.Packet, at sim.Time) {
+	n := c.net
+	n.Stats.Delivered++
+	if n.cfg.DisableRetransmit {
+		n.nics[p.Src].forgetQueued(p)
+	}
+	for _, fn := range n.onDeliver {
+		fn(p, at)
+	}
+}
+
+// forgetQueued is used in DisableRetransmit mode where outstanding tracking
+// is off; nothing to clean.
+func (c *nic) forgetQueued(*netsim.Packet) {}
+
+// seqTracker deduplicates per-source sequence numbers with O(1) memory for
+// in-order delivery and a small spill set for reordering caused by
+// retransmissions.
+type seqTracker struct {
+	next   uint64 // all seq < next have been seen
+	extras map[uint64]struct{}
+}
+
+// record returns true if seq is new.
+func (t *seqTracker) record(seq uint64) bool {
+	if seq < t.next {
+		return false
+	}
+	if seq == t.next {
+		t.next++
+		// Compact any contiguous extras.
+		for {
+			if _, ok := t.extras[t.next]; !ok {
+				break
+			}
+			delete(t.extras, t.next)
+			t.next++
+		}
+		return true
+	}
+	if t.extras == nil {
+		t.extras = make(map[uint64]struct{})
+	}
+	if _, dup := t.extras[seq]; dup {
+		return false
+	}
+	t.extras[seq] = struct{}{}
+	return true
+}

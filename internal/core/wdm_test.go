@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+	"baldur/internal/traffic"
+)
+
+func TestWDMValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 16, Wavelengths: -1}); err == nil {
+		t.Error("negative wavelengths accepted")
+	}
+	n := mustNew(t, Config{Nodes: 16})
+	if n.Config().Wavelengths != 1 {
+		t.Errorf("default wavelengths = %d", n.Config().Wavelengths)
+	}
+}
+
+func TestWDMReducesDrops(t *testing.T) {
+	// W lambda channels per wire multiply each direction's capacity, so
+	// at fixed multiplicity the drop rate must fall sharply with W —
+	// the WDM scaling path Sec III's footnote opens up.
+	drop := func(w int) float64 {
+		n := mustNew(t, Config{
+			Nodes: 256, Multiplicity: 1, Wavelengths: w,
+			Seed: 3, DisableRetransmit: true,
+		})
+		ol := traffic.OpenLoop{
+			Pattern:        traffic.Transpose(256),
+			Load:           0.7,
+			PacketsPerNode: 100,
+			Seed:           9,
+		}
+		ol.Start(n)
+		n.Engine().Run()
+		return n.Stats.DataDropRate()
+	}
+	w1, w2, w4 := drop(1), drop(2), drop(4)
+	if !(w1 > w2 && w2 > w4) {
+		t.Errorf("drop rate not decreasing with wavelengths: %v %v %v", w1, w2, w4)
+	}
+	if w1 < 0.2 {
+		t.Errorf("w=1 m=1 drop rate %.3f suspiciously low", w1)
+	}
+	if w4 > w1/5 {
+		t.Errorf("4 lambdas only reduced drops from %.3f to %.3f", w1, w4)
+	}
+}
+
+func TestWDMBehavesLikeExtraPaths(t *testing.T) {
+	// m=1 with 4 lambdas should land in the same drop-rate regime as m=4
+	// with 1 lambda: both give each direction 4 concurrent channels (the
+	// wiring diversity differs, so only the order of magnitude matches).
+	measure := func(m, w int) float64 {
+		n := mustNew(t, Config{
+			Nodes: 256, Multiplicity: m, Wavelengths: w,
+			Seed: 3, DisableRetransmit: true,
+		})
+		ol := traffic.OpenLoop{
+			Pattern:        traffic.RandomPermutation(256, 5),
+			Load:           0.7,
+			PacketsPerNode: 100,
+			Seed:           9,
+		}
+		ol.Start(n)
+		n.Engine().Run()
+		return n.Stats.DataDropRate()
+	}
+	m4 := measure(4, 1)
+	wdm4 := measure(1, 4)
+	if wdm4 > 20*m4+0.02 {
+		t.Errorf("m=1/W=4 drop %.4f far above m=4/W=1 %.4f", wdm4, m4)
+	}
+}
+
+func TestWDMExactlyOnceStillHolds(t *testing.T) {
+	n := mustNew(t, Config{Nodes: 64, Multiplicity: 1, Wavelengths: 2, Seed: 7})
+	seen := map[uint64]int{}
+	n.OnDeliver(func(p *netsim.Packet, _ sim.Time) { seen[p.ID]++ })
+	ol := traffic.OpenLoop{
+		Pattern:        traffic.Bisection(64, 2),
+		Load:           0.8,
+		PacketsPerNode: 40,
+		Seed:           4,
+	}
+	ol.Start(n)
+	n.Engine().Run()
+	if len(seen) != 64*40 {
+		t.Fatalf("unique deliveries = %d, want %d", len(seen), 64*40)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("packet %d delivered %d times", id, c)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package cost implements the deployment cost model of Sec VI-B / Fig 10:
+// USD per server node for Baldur across scales, accounting for optical
+// interposers (the dominant term), fibers with LC connectors, fiber array
+// units (FAUs), rack-mount fiber enclosures and cassettes (RFECs), and the
+// server-side optical transceivers — following the modelling style of [2],
+// [63]. The paper pessimistically prices optical interposers at 5x the cost
+// of CMOS chips of the same area; the reference points are 523 USD/node for
+// Baldur at the 1K-2K scale versus 1,992 USD/node for a 2,560-node fat-tree
+// and 1,719 USD/node for an OCS design.
+package cost
+
+import (
+	"baldur/internal/packaging"
+)
+
+// Unit prices (USD). CMOSCostPerCM2 is a contemporary logic-die cost
+// estimate; the interposer multiplier is the paper's pessimistic 5x.
+const (
+	CMOSCostPerCM2       = 30.0
+	InterposerMultiplier = 5.0
+	TransceiverUSD       = 150.0 // SFP28-class module at the server
+	FiberUSD             = 15.0  // fiber with LC connectors, per node-side run
+	FAUUSD               = 40.0  // fiber array unit (per interposer edge pair)
+	RFECUSD              = 500.0 // rack-mount enclosure + cassettes, per 576 fibers
+	FibersPerRFEC        = 576
+)
+
+// InterposerUSD is the price of one 32x10 mm optical interposer.
+func InterposerUSD() float64 {
+	areaCM2 := packaging.InterposerWidthMM * packaging.InterposerHeightMM / 100
+	return areaCM2 * CMOSCostPerCM2 * InterposerMultiplier
+}
+
+// Breakdown is the per-node cost decomposition.
+type Breakdown struct {
+	Nodes        int
+	Interposers  float64
+	Fibers       float64
+	FAUs         float64
+	RFECs        float64
+	Transceivers float64
+}
+
+// Total returns USD per node.
+func (b Breakdown) Total() float64 {
+	return b.Interposers + b.Fibers + b.FAUs + b.RFECs + b.Transceivers
+}
+
+// Baldur computes Fig 10's cost per node at the given scale.
+func Baldur(target int) Breakdown {
+	plan := packaging.PlanFor(target)
+	n := float64(plan.Nodes)
+	// Two host fibers per node (TX+RX) plus inter-column fiber ribbons
+	// carried by the FAUs (priced into the FAU term).
+	fibers := 2 * FiberUSD
+	// One FAU pair per interposer.
+	faus := float64(plan.Interposers) * FAUUSD / n
+	// RFECs manage the node-facing fibers (2N of them).
+	rfecs := float64(ceilDiv(2*plan.Nodes, FibersPerRFEC)) * RFECUSD / n
+	return Breakdown{
+		Nodes:        plan.Nodes,
+		Interposers:  float64(plan.Interposers) * InterposerUSD() / n,
+		Fibers:       fibers,
+		FAUs:         faus,
+		RFECs:        rfecs,
+		Transceivers: TransceiverUSD,
+	}
+}
+
+// FatTreeReference is the paper's comparison figure: 1,992 USD/node for a
+// 2,560-node fat-tree built per [17], [63].
+const FatTreeReference = 1992.0
+
+// OCSReference is the paper's OCS comparison: 1,719 USD/node at a few
+// thousand nodes [63].
+const OCSReference = 1719.0
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

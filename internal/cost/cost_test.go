@@ -1,0 +1,64 @@
+package cost
+
+import "testing"
+
+func TestBaldur1KNearPaper(t *testing.T) {
+	// Fig 10: 523 USD per node at the 1K-2K scale.
+	got := Baldur(1024).Total()
+	if got < 450 || got > 600 {
+		t.Errorf("cost @1K = %.0f USD/node, paper reports 523", got)
+	}
+}
+
+func TestInterposersDominate(t *testing.T) {
+	// Sec VI-B: "the cost of optical interposers dominates the total".
+	for _, n := range []int{1024, 65536, 1 << 20} {
+		b := Baldur(n)
+		for name, v := range map[string]float64{
+			"fibers": b.Fibers, "faus": b.FAUs, "rfecs": b.RFECs, "xcvr": b.Transceivers,
+		} {
+			if v >= b.Interposers {
+				t.Errorf("@%d: %s (%.0f) >= interposers (%.0f)", n, name, v, b.Interposers)
+			}
+		}
+	}
+}
+
+func TestCostScalesSlowly(t *testing.T) {
+	// Fig 10: cost increases only slightly with scale. From 1K to 1M the
+	// per-node cost must stay within ~2.5x (our model: ~1.9x).
+	at1K := Baldur(1024).Total()
+	at1M := Baldur(1 << 20).Total()
+	if at1M <= at1K {
+		t.Error("cost should rise slightly with scale")
+	}
+	if at1M/at1K > 2.5 {
+		t.Errorf("cost growth 1K->1M = %.2fx, want < 2.5x", at1M/at1K)
+	}
+}
+
+func TestCheaperThanReferences(t *testing.T) {
+	// Baldur's 1K-scale cost must undercut both the fat-tree (1,992
+	// USD/node at 2,560 nodes) and OCS (1,719 USD/node) references.
+	got := Baldur(2048).Total()
+	if got >= FatTreeReference {
+		t.Errorf("cost %.0f >= fat-tree reference %.0f", got, FatTreeReference)
+	}
+	if got >= OCSReference {
+		t.Errorf("cost %.0f >= OCS reference %.0f", got, OCSReference)
+	}
+}
+
+func TestInterposerPrice(t *testing.T) {
+	// 3.2 cm^2 x 30 USD/cm^2 x 5 = 480 USD per interposer.
+	if got := InterposerUSD(); got != 480 {
+		t.Errorf("InterposerUSD = %v, want 480", got)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Interposers: 1, Fibers: 2, FAUs: 3, RFECs: 4, Transceivers: 5}
+	if b.Total() != 15 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}

@@ -1,0 +1,270 @@
+// Package dropmodel reimplements the paper's "in-house tool" (Sec IV-E) for
+// selecting path multiplicity at scales where packet-level simulation is
+// impractical: it simulates the worst-case single wave — every server node
+// injects one packet and all packets hit the first stage simultaneously —
+// and measures the fraction dropped, for networks up to and beyond one
+// million nodes. The paper's design rule derived from this tool: m=4
+// suffices (<1% worst-case drops) at 1,024 nodes, m=5 past one million.
+//
+// The tool is combinatorial rather than event-driven: at each stage, each
+// switch forwards at most m packets per output direction (the rest drop),
+// and survivors land on uniformly random distinct input ports of the next
+// stage's sorting group — the same random-matching wiring internal/topo
+// builds, but generated on the fly so the 1M-node case needs only O(N)
+// memory.
+package dropmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"baldur/internal/sim"
+)
+
+// Pattern selects the destination map of the wave.
+type Pattern int
+
+// Wave patterns.
+const (
+	// RandomPerm pairs nodes by a uniformly random permutation.
+	RandomPerm Pattern = iota
+	// TransposeP uses the bit-halves-swap permutation.
+	TransposeP
+	// BisectionP pairs each half with the other half randomly.
+	BisectionP
+	// UniformRandom draws an independent random destination per node
+	// (not a permutation: transient hot spots appear naturally).
+	UniformRandom
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case RandomPerm:
+		return "random_permutation"
+	case TransposeP:
+		return "transpose"
+	case BisectionP:
+		return "bisection"
+	case UniformRandom:
+		return "uniform_random"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// Result summarizes one wave simulation.
+type Result struct {
+	Nodes        int
+	Multiplicity int
+	Pattern      Pattern
+	Injected     int
+	Dropped      int
+	DropsByStage []int
+}
+
+// DropRate returns dropped/injected.
+func (r Result) DropRate() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Injected)
+}
+
+// Simulate runs one worst-case wave through an N-node multi-butterfly of
+// multiplicity m. N must be a power of two >= 4.
+func Simulate(nodes, m int, pattern Pattern, seed uint64) (Result, error) {
+	stages := 0
+	for 1<<stages < nodes {
+		stages++
+	}
+	if 1<<stages != nodes || stages < 2 {
+		return Result{}, fmt.Errorf("dropmodel: nodes = %d, want power of two >= 4", nodes)
+	}
+	if m < 1 {
+		return Result{}, fmt.Errorf("dropmodel: multiplicity %d", m)
+	}
+	rng := sim.NewRNG(seed)
+	dest := destinations(nodes, pattern, rng)
+
+	res := Result{
+		Nodes:        nodes,
+		Multiplicity: m,
+		Pattern:      pattern,
+		DropsByStage: make([]int, stages),
+	}
+
+	// pkts[i] is a live packet: its destination. pos[i] is the switch it
+	// currently sits at. Initially node i injects into switch i>>1.
+	type pkt struct {
+		dst int32
+		sw  int32
+	}
+	live := make([]pkt, 0, nodes)
+	for i, d := range dest {
+		if d < 0 {
+			continue
+		}
+		live = append(live, pkt{dst: int32(d), sw: int32(i >> 1)})
+	}
+	res.Injected = len(live)
+
+	switchesPerStage := nodes / 2
+	// scratch buffers reused across stages
+	order := make([]int, 0, nodes)
+
+	for s := 0; s < stages; s++ {
+		// Partition live packets by (switch, direction), keep at most m
+		// of each. Sort by switch to group; arbitration among
+		// simultaneous arrivals is arbitrary, so keeping the first m in
+		// any order is faithful.
+		sort.Slice(live, func(i, j int) bool { return live[i].sw < live[j].sw })
+		shift := uint(stages - 1 - s)
+		survivors := live[:0]
+		for i := 0; i < len(live); {
+			j := i
+			var cnt [2]int
+			for j < len(live) && live[j].sw == live[i].sw {
+				d := (live[j].dst >> shift) & 1
+				if cnt[d] < m {
+					cnt[d]++
+					survivors = append(survivors, live[j])
+				} else {
+					res.DropsByStage[s]++
+					res.Dropped++
+				}
+				j++
+			}
+			i = j
+		}
+		live = survivors
+		if s == stages-1 {
+			break
+		}
+
+		// Scatter survivors into the next stage: within each sorting
+		// group x direction, survivors land on distinct random input
+		// ports of the target group. A group at stage s+1 has
+		// groupSize switches x 2m ports; assigning random distinct
+		// slots and dividing by 2m yields the switch.
+		groupSizeNext := switchesPerStage >> (s + 1)
+		slotsPerGroup := groupSizeNext * 2 * m
+		// Group survivors by (target group). Packets in source group g
+		// with direction d target group g<<1|d; since the source group
+		// fully determines the candidate set, process by target.
+		sort.Slice(live, func(i, j int) bool {
+			ti := targetGroup(live[i], s, shift, switchesPerStage)
+			tj := targetGroup(live[j], s, shift, switchesPerStage)
+			return ti < tj
+		})
+		for i := 0; i < len(live); {
+			j := i
+			tg := targetGroup(live[i], s, shift, switchesPerStage)
+			for j < len(live) && targetGroup(live[j], s, shift, switchesPerStage) == tg {
+				j++
+			}
+			k := j - i
+			// Draw k distinct slots out of slotsPerGroup via a
+			// partial Fisher-Yates over a lazily materialized
+			// range.
+			order = order[:0]
+			order = sampleDistinct(rng, slotsPerGroup, k, order)
+			base := int32(tg * groupSizeNext)
+			for x := i; x < j; x++ {
+				live[x].sw = base + int32(order[x-i]/(2*m))
+			}
+			i = j
+		}
+	}
+	return res, nil
+}
+
+// targetGroup computes the stage-(s+1) sorting group a live packet enters.
+func targetGroup(p struct {
+	dst int32
+	sw  int32
+}, s int, shift uint, switchesPerStage int) int {
+	groupSize := switchesPerStage >> s
+	g := int(p.sw) / groupSize
+	d := int((p.dst >> shift) & 1)
+	return g<<1 | d
+}
+
+// sampleDistinct draws k distinct integers from [0, n) using Floyd's
+// algorithm, appending to out.
+func sampleDistinct(rng *sim.RNG, n, k int, out []int) []int {
+	if k > n {
+		panic("dropmodel: sample larger than population")
+	}
+	seen := make(map[int]struct{}, k)
+	for i := n - k; i < n; i++ {
+		t := rng.Intn(i + 1)
+		if _, dup := seen[t]; dup {
+			t = i
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+func destinations(nodes int, pattern Pattern, rng *sim.RNG) []int {
+	dest := make([]int, nodes)
+	switch pattern {
+	case RandomPerm:
+		rng.Perm(dest)
+		for i := range dest {
+			if dest[i] == i {
+				j := (i + 1) % nodes
+				dest[i], dest[j] = dest[j], dest[i]
+			}
+		}
+	case TransposeP:
+		n := 0
+		for 1<<n < nodes {
+			n++
+		}
+		h := n / 2
+		low := (1 << h) - 1
+		for a := range dest {
+			d := (a >> h) | (a&low)<<(n-h)
+			if d == a {
+				d = -1
+			}
+			dest[a] = d
+		}
+	case BisectionP:
+		half := nodes / 2
+		perm := make([]int, half)
+		rng.Perm(perm)
+		for i := 0; i < half; i++ {
+			dest[i] = half + perm[i]
+			dest[half+perm[i]] = i
+		}
+	case UniformRandom:
+		for i := range dest {
+			d := rng.Intn(nodes)
+			for d == i {
+				d = rng.Intn(nodes)
+			}
+			dest[i] = d
+		}
+	default:
+		panic("dropmodel: unknown pattern")
+	}
+	return dest
+}
+
+// RequiredMultiplicity returns the smallest m whose worst-case wave drop
+// rate stays below threshold for the given pattern, probing m = 1..limit.
+func RequiredMultiplicity(nodes int, pattern Pattern, threshold float64, limit int, seed uint64) (int, error) {
+	for m := 1; m <= limit; m++ {
+		r, err := Simulate(nodes, m, pattern, seed)
+		if err != nil {
+			return 0, err
+		}
+		if r.DropRate() < threshold {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("dropmodel: no m <= %d achieves drop rate < %v at %d nodes", limit, threshold, nodes)
+}

@@ -1,0 +1,158 @@
+package dropmodel
+
+import (
+	"testing"
+
+	"baldur/internal/sim"
+)
+
+func TestRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(100, 2, RandomPerm, 0); err == nil {
+		t.Error("non power of two accepted")
+	}
+	if _, err := Simulate(64, 0, RandomPerm, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	r, err := Simulate(1024, 2, RandomPerm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Injected != 1024 {
+		t.Errorf("injected = %d", r.Injected)
+	}
+	var byStage int
+	for _, d := range r.DropsByStage {
+		byStage += d
+	}
+	if byStage != r.Dropped {
+		t.Errorf("per-stage drops %d != total %d", byStage, r.Dropped)
+	}
+	if r.Dropped > r.Injected {
+		t.Errorf("dropped %d > injected %d", r.Dropped, r.Injected)
+	}
+}
+
+func TestDropRateDecreasesWithMultiplicity(t *testing.T) {
+	var prev float64 = 2
+	for m := 1; m <= 5; m++ {
+		r, err := Simulate(1024, m, RandomPerm, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := r.DropRate()
+		if rate > prev {
+			t.Errorf("m=%d rate %.4f > m=%d rate %.4f", m, rate, m-1, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestPaperDesignRule1K(t *testing.T) {
+	// Sec IV-E: m=4 achieves <1% worst-case drops at 1,024 nodes.
+	m, err := RequiredMultiplicity(1024, RandomPerm, 0.01, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 4 {
+		t.Errorf("required multiplicity at 1K = %d, paper says 4 suffices", m)
+	}
+	if m < 2 {
+		t.Errorf("required multiplicity at 1K = %d, implausibly low", m)
+	}
+}
+
+func TestPaperDesignRule64K(t *testing.T) {
+	// Between the two published points: 64K nodes must need no more than
+	// m=5.
+	m, err := RequiredMultiplicity(1<<16, RandomPerm, 0.01, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 5 {
+		t.Errorf("required multiplicity at 64K = %d, paper says 5 suffices past 1M", m)
+	}
+}
+
+func TestAllPatternsRun(t *testing.T) {
+	for _, p := range []Pattern{RandomPerm, TransposeP, BisectionP, UniformRandom} {
+		r, err := Simulate(256, 3, p, 11)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if r.Injected == 0 {
+			t.Errorf("%v: nothing injected", p)
+		}
+		if p.String() == "" {
+			t.Errorf("%v: empty name", p)
+		}
+	}
+}
+
+func TestTransposeDiagonalExcluded(t *testing.T) {
+	r, err := Simulate(256, 2, TransposeP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 diagonal nodes (low==high bits) do not inject at 256 = 2^8.
+	if r.Injected != 256-16 {
+		t.Errorf("injected = %d, want 240", r.Injected)
+	}
+}
+
+func TestM1DropsHeavily(t *testing.T) {
+	r, err := Simulate(1024, 1, TransposeP, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table V's steady-state m=1 figure is 65.3%; the single worst-case
+	// wave must also drop a large fraction.
+	if r.DropRate() < 0.2 {
+		t.Errorf("m=1 wave drop rate = %.3f, expected heavy congestion", r.DropRate())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Simulate(512, 3, BisectionP, 42)
+	b, _ := Simulate(512, 3, BisectionP, 42)
+	if a.Dropped != b.Dropped {
+		t.Errorf("same seed diverged: %d vs %d", a.Dropped, b.Dropped)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for trial := 0; trial < 50; trial++ {
+		out := sampleDistinct(rng, 100, 60, nil)
+		if len(out) != 60 {
+			t.Fatalf("len = %d", len(out))
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= 100 {
+				t.Fatalf("value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLargeScaleSmokes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale wave in -short mode")
+	}
+	// 262,144 nodes, m=5: the tool must handle large scales quickly and
+	// give a low drop rate, consistent with the paper's 1M design point.
+	r, err := Simulate(1<<18, 5, RandomPerm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := r.DropRate(); rate > 0.01 {
+		t.Errorf("m=5 at 256K: drop rate %.4f, want < 1%%", rate)
+	}
+}

@@ -1,0 +1,416 @@
+// Package elecnet implements the electrical baseline networks the paper
+// compares against (Sec V-A): an electrical multi-butterfly with the same
+// randomized topology as Baldur, a dragonfly with adaptive (UGAL-style)
+// routing, a 3-level fat-tree with adaptive up-routing, and the ideal
+// network (infinite bandwidth, flat 200 ns latency).
+//
+// The first three share one router engine: virtual cut-through switching
+// with credit-based flow control over finite input buffers (Table VI: 24 KB
+// per port), a 90 ns router traversal latency (Mellanox SB7700-class), and
+// 25 Gbps ports. Electrical networks are lossless: congestion appears as
+// queueing delay and, at saturation, as unbounded source-queue growth —
+// the same observable CODES reports.
+package elecnet
+
+import (
+	"fmt"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// EngineConfig holds the parameters common to all buffered routers.
+type EngineConfig struct {
+	// RouterLatency is the per-hop header processing and switching time
+	// (default 90 ns, Table VI).
+	RouterLatency sim.Duration
+	// BufferBytes is the input buffer per port, shared by all virtual
+	// channels (default 24 KB).
+	BufferBytes int
+	// VirtualChannels is the number of VCs the buffer is split into.
+	// Packets climb one VC per hop, which makes any route with fewer
+	// hops than VCs provably deadlock-free. Defaults are set per
+	// network (3 for multi-butterfly and fat-tree per Table VI; 5 for
+	// dragonfly, whose longest non-minimal route has 5 router hops).
+	VirtualChannels int
+	// LinkRate is the port data rate in bit/s (default 25 Gbps).
+	LinkRate float64
+	// PacketSize is the default packet size in bytes (default 512).
+	PacketSize int
+}
+
+func (c *EngineConfig) applyDefaults(defaultVCs int) {
+	if c.RouterLatency == 0 {
+		c.RouterLatency = 90 * sim.Nanosecond
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 24 << 10
+	}
+	if c.VirtualChannels == 0 {
+		c.VirtualChannels = defaultVCs
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = 25e9
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 512
+	}
+}
+
+// slotsPerVC returns the per-VC credit capacity in packets.
+func (c *EngineConfig) slotsPerVC() int {
+	per := c.BufferBytes / c.VirtualChannels / c.PacketSize
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// pktState is the in-network routing state of one packet.
+type pktState struct {
+	pkt *netsim.Packet
+	// hop counts router hops taken so far; also selects the VC.
+	hop int
+	// holdRouter/holdIn identify the input buffer slot currently held
+	// (-1: still at the source NIC).
+	holdRouter int32
+	holdIn     int16
+	// Dragonfly non-minimal state: the intermediate group (-1 if routing
+	// minimally) and whether it has been reached.
+	interGroup   int32
+	interReached bool
+}
+
+func (st *pktState) vc(nvc int) int {
+	v := st.hop
+	if v >= nvc {
+		v = nvc - 1
+	}
+	return v
+}
+
+// outPort is one transmit port of a router, feeding exactly one downstream
+// input port (or ejecting to a node). Queues are per virtual channel: a
+// blocked VC must not block the others, or head-of-line coupling would
+// defeat the ascending-VC deadlock-freedom argument (we observed exactly
+// that deadlock with a single FIFO under adversarial dragonfly load).
+type outPort struct {
+	queues    [][]*pktState // per VC
+	queued    int           // total packets across queues
+	rr        int           // round-robin VC scan start
+	busyUntil sim.Time
+	// credits[vc] counts free downstream slots of that VC.
+	credits   []int
+	linkDelay sim.Duration
+	peer      int32 // downstream router, or -1 for ejection
+	peerIn    int16
+	node      int32 // destination node for ejection ports, else -1
+	scheduled bool
+}
+
+// queueLen is the rough queue depth adaptive policies consult.
+func (p *outPort) queueLen() int { return p.queued }
+
+// inPort records who feeds a router input, for credit returns.
+type inPort struct {
+	feederRouter int32 // -1 when fed by a NIC
+	feederPort   int16 // output port index, or NIC/node id when feederRouter == -1
+}
+
+type router struct {
+	id  int32
+	out []outPort
+	in  []inPort
+}
+
+// enic is a source NIC: an unbounded injection queue feeding one router
+// input port through a credit-limited link.
+type enic struct {
+	id        int32
+	queue     []*pktState
+	busyUntil sim.Time
+	credits   []int
+	linkDelay sim.Duration
+	edge      int32
+	edgeIn    int16
+	scheduled bool
+}
+
+// routeFunc picks the output port for a packet at a router. It may mutate
+// the packet's routing state (e.g. dragonfly Valiant phase).
+type routeFunc func(net *engine, r *router, st *pktState) int
+
+// engine is the shared buffered-network core. Concrete networks embed it
+// and provide topology plus a routeFunc.
+type engine struct {
+	cfg       EngineConfig
+	eng       *sim.Engine
+	routers   []*router
+	nics      []*enic
+	route     routeFunc
+	onDeliver []func(*netsim.Packet, sim.Time)
+	nextID    uint64
+	name      string
+
+	// Stats.
+	Injected  uint64
+	Delivered uint64
+	MaxHops   int
+}
+
+func newEngine(cfg EngineConfig, name string, defaultVCs int) *engine {
+	cfg.applyDefaults(defaultVCs)
+	return &engine{cfg: cfg, eng: sim.NewEngine(), name: name}
+}
+
+func (n *engine) Engine() *sim.Engine { return n.eng }
+
+func (n *engine) NumNodes() int { return len(n.nics) }
+
+// OnDeliver registers a delivery callback.
+func (n *engine) OnDeliver(fn func(p *netsim.Packet, at sim.Time)) {
+	n.onDeliver = append(n.onDeliver, fn)
+}
+
+// Send creates a packet and enqueues it at src's NIC.
+func (n *engine) Send(src, dst, size int) *netsim.Packet {
+	if src < 0 || src >= len(n.nics) || dst < 0 || dst >= len(n.nics) {
+		panic(fmt.Sprintf("elecnet(%s): Send(%d,%d) outside [0,%d)", n.name, src, dst, len(n.nics)))
+	}
+	if size <= 0 {
+		size = n.cfg.PacketSize
+	}
+	n.nextID++
+	p := &netsim.Packet{
+		ID:      n.nextID,
+		Src:     src,
+		Dst:     dst,
+		Size:    size,
+		Created: n.eng.Now(),
+	}
+	n.Injected++
+	st := &pktState{pkt: p, holdRouter: -1, interGroup: -1}
+	nic := n.nics[src]
+	nic.queue = append(nic.queue, st)
+	n.kickNIC(nic)
+	return p
+}
+
+func (n *engine) ser(size int) sim.Duration {
+	return sim.SerializationTime(size, n.cfg.LinkRate)
+}
+
+// newCredits allocates a fully stocked credit vector.
+func (n *engine) newCredits() []int {
+	c := make([]int, n.cfg.VirtualChannels)
+	per := n.cfg.slotsPerVC()
+	for i := range c {
+		c[i] = per
+	}
+	return c
+}
+
+// --- NIC service ---
+
+func (n *engine) kickNIC(nic *enic) {
+	if nic.scheduled {
+		return
+	}
+	nic.scheduled = true
+	n.eng.After(0, func() { n.serviceNIC(nic) })
+}
+
+func (n *engine) serviceNIC(nic *enic) {
+	nic.scheduled = false
+	for len(nic.queue) > 0 {
+		now := n.eng.Now()
+		if nic.busyUntil > now {
+			nic.scheduled = true
+			n.eng.At(nic.busyUntil, func() { n.serviceNIC(nic) })
+			return
+		}
+		st := nic.queue[0]
+		vc := st.vc(n.cfg.VirtualChannels)
+		if nic.credits[vc] <= 0 {
+			return // waits for a credit return to kick us
+		}
+		nic.queue = nic.queue[1:]
+		nic.credits[vc]--
+		dur := n.ser(st.pkt.Size)
+		nic.busyUntil = now.Add(dur)
+		st.holdRouter = nic.edge
+		st.holdIn = nic.edgeIn
+		edge, edgeIn := nic.edge, nic.edgeIn
+		headAt := now.Add(nic.linkDelay + n.cfg.RouterLatency)
+		n.eng.At(headAt, func() { n.arrive(edge, edgeIn, st) })
+	}
+}
+
+// --- Router pipeline ---
+
+// arrive is invoked when a packet's head has crossed the link and the
+// router's 90 ns pipeline: the routing decision is made and the packet joins
+// an output queue.
+func (n *engine) arrive(rid int32, in int16, st *pktState) {
+	r := n.routers[rid]
+	st.hop++
+	if st.hop > n.MaxHops {
+		n.MaxHops = st.hop
+	}
+	out := n.route(n, r, st)
+	port := &r.out[out]
+	if port.queues == nil {
+		port.queues = make([][]*pktState, n.cfg.VirtualChannels)
+	}
+	vc := st.vc(n.cfg.VirtualChannels)
+	port.queues[vc] = append(port.queues[vc], st)
+	port.queued++
+	n.kickPort(r, out)
+}
+
+func (n *engine) kickPort(r *router, out int) {
+	port := &r.out[out]
+	if port.scheduled {
+		return
+	}
+	port.scheduled = true
+	n.eng.After(0, func() { n.servicePort(r, out) })
+}
+
+func (n *engine) servicePort(r *router, out int) {
+	port := &r.out[out]
+	port.scheduled = false
+	for port.queued > 0 {
+		now := n.eng.Now()
+		if port.busyUntil > now {
+			port.scheduled = true
+			n.eng.At(port.busyUntil, func() { n.servicePort(r, out) })
+			return
+		}
+		// Pick the next serviceable VC round-robin: non-empty and,
+		// unless ejecting, holding a downstream credit.
+		isEject := port.node >= 0
+		nvc := len(port.queues)
+		vc := -1
+		for i := 0; i < nvc; i++ {
+			cand := (port.rr + i) % nvc
+			if len(port.queues[cand]) == 0 {
+				continue
+			}
+			if !isEject && port.credits[cand] <= 0 {
+				continue
+			}
+			vc = cand
+			break
+		}
+		if vc < 0 {
+			return // every waiting VC is out of credits; a return kicks us
+		}
+		port.rr = (vc + 1) % nvc
+		st := port.queues[vc][0]
+		port.queues[vc] = port.queues[vc][1:]
+		port.queued--
+		dur := n.ser(st.pkt.Size)
+		port.busyUntil = now.Add(dur)
+
+		// Free the input slot we held on this router once the tail
+		// leaves; the credit travels back over the reverse link.
+		if st.holdRouter >= 0 {
+			n.scheduleCreditReturn(st.holdRouter, st.holdIn, st.vcHeld(n.cfg.VirtualChannels), port.busyUntil)
+		}
+
+		if isEject {
+			p := st.pkt
+			deliverAt := port.busyUntil.Add(port.linkDelay)
+			n.eng.At(deliverAt, func() { n.deliver(p, deliverAt) })
+			continue
+		}
+		port.credits[vc]--
+		st.holdRouter = port.peer
+		st.holdIn = port.peerIn
+		peer, peerIn := port.peer, port.peerIn
+		headAt := now.Add(port.linkDelay + n.cfg.RouterLatency)
+		n.eng.At(headAt, func() { n.arrive(peer, peerIn, st) })
+	}
+}
+
+// vcHeld returns the VC whose slot the packet holds at its current router:
+// the VC it arrived on, i.e. of the previous hop count.
+func (st *pktState) vcHeld(nvc int) int {
+	v := st.hop - 1
+	if v < 0 {
+		v = 0
+	}
+	if v >= nvc {
+		v = nvc - 1
+	}
+	return v
+}
+
+func (n *engine) scheduleCreditReturn(rid int32, in int16, vc int, tailAt sim.Time) {
+	r := n.routers[rid]
+	feeder := r.in[in]
+	if feeder.feederRouter < 0 {
+		nic := n.nics[feeder.feederPort]
+		n.eng.At(tailAt.Add(nic.linkDelay), func() {
+			nic.credits[vc]++
+			n.kickNIC(nic)
+		})
+		return
+	}
+	up := n.routers[feeder.feederRouter]
+	upPort := int(feeder.feederPort)
+	n.eng.At(tailAt.Add(up.out[upPort].linkDelay), func() {
+		up.out[upPort].credits[vc]++
+		n.kickPort(up, upPort)
+	})
+}
+
+func (n *engine) deliver(p *netsim.Packet, at sim.Time) {
+	n.Delivered++
+	for _, fn := range n.onDeliver {
+		fn(p, at)
+	}
+}
+
+// connect wires output port (a, ap) to input port (b, bp) with the given
+// link delay, and records the feeder for credit returns.
+func (n *engine) connect(a int32, ap int, b int32, bp int, delay sim.Duration) {
+	port := &n.routers[a].out[ap]
+	port.peer = b
+	port.peerIn = int16(bp)
+	port.node = -1
+	port.linkDelay = delay
+	port.credits = n.newCredits()
+	n.routers[b].in[bp] = inPort{feederRouter: a, feederPort: int16(ap)}
+}
+
+// connectEject makes output port (a, ap) an ejection port to node with the
+// given delay.
+func (n *engine) connectEject(a int32, ap int, node int32, delay sim.Duration) {
+	port := &n.routers[a].out[ap]
+	port.peer = -1
+	port.node = node
+	port.linkDelay = delay
+}
+
+// connectNIC attaches node's NIC to input port (b, bp).
+func (n *engine) connectNIC(node int32, b int32, bp int, delay sim.Duration) {
+	nic := &enic{
+		id:        node,
+		credits:   n.newCredits(),
+		linkDelay: delay,
+		edge:      b,
+		edgeIn:    int16(bp),
+	}
+	n.nics[node] = nic
+	n.routers[b].in[bp] = inPort{feederRouter: -1, feederPort: int16(node)}
+}
+
+func newRouter(id int32, outPorts, inPorts int) *router {
+	return &router{
+		id:  id,
+		out: make([]outPort, outPorts),
+		in:  make([]inPort, inPorts),
+	}
+}

@@ -1,0 +1,148 @@
+package elecnet
+
+import (
+	"fmt"
+
+	"baldur/internal/sim"
+)
+
+// FatTree is the 3-level k-ary fat-tree baseline with full bisection
+// bandwidth ([17]): k pods of k/2 edge and k/2 aggregation switches plus
+// (k/2)^2 core switches, k^3/4 hosts, and adaptive up-routing (least-loaded
+// upward port, deterministic downward route).
+type FatTree struct {
+	*engine
+	k int
+}
+
+// FatTreeConfig configures the fat-tree.
+type FatTreeConfig struct {
+	// K is the switch radix (even, >= 4). Default 16, giving 1,024 hosts
+	// (the paper's 1K-scale configuration).
+	K int
+	// Level delays follow Table VI: host-edge 10 ns, edge-agg 50 ns,
+	// agg-core 100 ns.
+	L1Delay sim.Duration
+	L2Delay sim.Duration
+	L3Delay sim.Duration
+	Engine  EngineConfig
+}
+
+// FatTreeNodes returns the host count for radix k: k^3/4.
+func FatTreeNodes(k int) int { return k * k * k / 4 }
+
+// NewFatTree builds the fat-tree network.
+func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	k := cfg.K
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("elecnet: fat-tree k = %d, want even >= 4", k)
+	}
+	if cfg.L1Delay == 0 {
+		cfg.L1Delay = 10 * sim.Nanosecond
+	}
+	if cfg.L2Delay == 0 {
+		cfg.L2Delay = 50 * sim.Nanosecond
+	}
+	if cfg.L3Delay == 0 {
+		cfg.L3Delay = 100 * sim.Nanosecond
+	}
+	half := k / 2
+	numEdge := k * half // k pods x k/2
+	numAgg := k * half  // k pods x k/2
+	numCore := half * half
+	hosts := k * k * k / 4
+
+	net := &FatTree{
+		// Longest route: edge-agg-core-agg-edge = 5 router hops.
+		engine: newEngine(cfg.Engine, "fattree", 5),
+		k:      k,
+	}
+	net.routers = make([]*router, numEdge+numAgg+numCore)
+	for i := range net.routers {
+		net.routers[i] = newRouter(int32(i), k, k)
+	}
+	net.nics = make([]*enic, hosts)
+
+	edgeID := func(pod, e int) int32 { return int32(pod*half + e) }
+	aggID := func(pod, a int) int32 { return int32(numEdge + pod*half + a) }
+	coreID := func(c int) int32 { return int32(numEdge + numAgg + c) }
+
+	// Hosts: host id = pod*(k^2/4) + e*(k/2) + h.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for hp := 0; hp < half; hp++ {
+				node := int32(pod*half*half + e*half + hp)
+				net.connectNIC(node, edgeID(pod, e), hp, cfg.L1Delay)
+				net.connectEject(edgeID(pod, e), hp, node, cfg.L1Delay)
+			}
+		}
+	}
+	// Edge <-> Agg: all-to-all within a pod. Edge up-port half+a connects
+	// agg a's down-port e.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				net.connect(edgeID(pod, e), half+a, aggID(pod, a), e, cfg.L2Delay)
+				net.connect(aggID(pod, a), e, edgeID(pod, e), half+a, cfg.L2Delay)
+			}
+		}
+	}
+	// Agg <-> Core: agg a's up-port half+u connects core a*half+u, whose
+	// port pod connects back.
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for u := 0; u < half; u++ {
+				c := a*half + u
+				net.connect(aggID(pod, a), half+u, coreID(c), pod, cfg.L3Delay)
+				net.connect(coreID(c), pod, aggID(pod, a), half+u, cfg.L3Delay)
+			}
+		}
+	}
+
+	hostPod := func(node int) int { return node / (half * half) }
+	hostEdge := func(node int) int { return (node / half) % half }
+	hostPort := func(node int) int { return node % half }
+
+	net.route = func(n *engine, r *router, st *pktState) int {
+		id := int(r.id)
+		dst := st.pkt.Dst
+		dPod, dEdge, dPort := hostPod(dst), hostEdge(dst), hostPort(dst)
+		switch {
+		case id < numEdge: // edge switch
+			pod, e := id/half, id%half
+			if pod == dPod && e == dEdge {
+				return dPort // eject
+			}
+			// Adaptive up: least queue, then most credits.
+			return bestUpPort(r, half, st.vc(n.cfg.VirtualChannels))
+		case id < numEdge+numAgg: // aggregation switch
+			pod := (id - numEdge) / half
+			if pod == dPod {
+				return dEdge // down to the destination edge
+			}
+			return bestUpPort(r, half, st.vc(n.cfg.VirtualChannels))
+		default: // core switch
+			return dPod // down to the destination pod
+		}
+	}
+	return net, nil
+}
+
+// bestUpPort selects the least-congested upward port (ports half..k-1).
+func bestUpPort(r *router, half int, vc int) int {
+	best := half
+	for u := half + 1; u < len(r.out); u++ {
+		cu, cb := &r.out[u], &r.out[best]
+		if cu.queueLen() < cb.queueLen() ||
+			(cu.queueLen() == cb.queueLen() && cu.credits[vc] > cb.credits[vc]) {
+			best = u
+		}
+	}
+	return best
+}
+
+// K returns the fat-tree radix.
+func (f *FatTree) K() int { return f.k }

@@ -1,0 +1,54 @@
+package elecnet
+
+import (
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// Ideal is the paper's reference network: infinite bandwidth and a flat
+// packet latency of 200 ns, regardless of traffic.
+type Ideal struct {
+	eng       *sim.Engine
+	nodes     int
+	latency   sim.Duration
+	onDeliver []func(*netsim.Packet, sim.Time)
+	nextID    uint64
+
+	Injected  uint64
+	Delivered uint64
+}
+
+// NewIdeal builds an ideal network with the given node count. Latency 0
+// selects the paper's 200 ns.
+func NewIdeal(nodes int, latency sim.Duration) *Ideal {
+	if latency == 0 {
+		latency = 200 * sim.Nanosecond
+	}
+	return &Ideal{eng: sim.NewEngine(), nodes: nodes, latency: latency}
+}
+
+// Engine returns the simulation engine.
+func (n *Ideal) Engine() *sim.Engine { return n.eng }
+
+// NumNodes returns the node count.
+func (n *Ideal) NumNodes() int { return n.nodes }
+
+// OnDeliver registers a delivery callback.
+func (n *Ideal) OnDeliver(fn func(p *netsim.Packet, at sim.Time)) {
+	n.onDeliver = append(n.onDeliver, fn)
+}
+
+// Send delivers the packet exactly 200 ns later, no queueing, no drops.
+func (n *Ideal) Send(src, dst, size int) *netsim.Packet {
+	n.nextID++
+	p := &netsim.Packet{ID: n.nextID, Src: src, Dst: dst, Size: size, Created: n.eng.Now()}
+	n.Injected++
+	at := n.eng.Now().Add(n.latency)
+	n.eng.At(at, func() {
+		n.Delivered++
+		for _, fn := range n.onDeliver {
+			fn(p, at)
+		}
+	})
+	return p
+}

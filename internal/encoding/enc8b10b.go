@@ -1,0 +1,269 @@
+// Package encoding implements the two data encodings Baldur uses on the
+// wire: standard 8b/10b for the packet payload (whose bounded run length the
+// line activity detector depends on) and the paper's clock-less length-based
+// scheme (a DPIWM variant) for the routing bits.
+package encoding
+
+import "fmt"
+
+// 8b/10b encoder/decoder (Widmer-Franaszek). The payload of a Baldur packet
+// is 8b/10b coded, which guarantees at most five consecutive zeros on the
+// line; the switch's line activity detector exploits that bound by treating
+// >6T of darkness as end-of-packet (Sec IV-C).
+
+// RD is the running disparity, either -1 or +1.
+type RD int8
+
+// Running disparity states.
+const (
+	RDMinus RD = -1
+	RDPlus  RD = 1
+)
+
+// enc56 holds the 5b/6b code table: for each 5-bit value, the 6-bit code
+// (bits transmitted a,b,c,d,e,i from MSB to LSB of the int) used when the
+// running disparity is negative. If the code is unbalanced (or one of the
+// special balanced-but-flipping entries), the RD+ variant is the complement.
+var enc56 = [32]struct {
+	code  uint8 // RD- code, 6 bits
+	flip  bool  // RD+ uses bitwise complement
+	dispa int8  // disparity of the RD- code (+2 or 0)
+}{
+	{0b100111, true, 2},  // D.00
+	{0b011101, true, 2},  // D.01
+	{0b101101, true, 2},  // D.02
+	{0b110001, false, 0}, // D.03
+	{0b110101, true, 2},  // D.04
+	{0b101001, false, 0}, // D.05
+	{0b011001, false, 0}, // D.06
+	{0b111000, true, 0},  // D.07 (balanced, but alternates 000111 at RD+)
+	{0b111001, true, 2},  // D.08
+	{0b100101, false, 0}, // D.09
+	{0b010101, false, 0}, // D.10
+	{0b110100, false, 0}, // D.11
+	{0b001101, false, 0}, // D.12
+	{0b101100, false, 0}, // D.13
+	{0b011100, false, 0}, // D.14
+	{0b010111, true, 2},  // D.15
+	{0b011011, true, 2},  // D.16
+	{0b100011, false, 0}, // D.17
+	{0b010011, false, 0}, // D.18
+	{0b110010, false, 0}, // D.19
+	{0b001011, false, 0}, // D.20
+	{0b101010, false, 0}, // D.21
+	{0b011010, false, 0}, // D.22
+	{0b111010, true, 2},  // D.23
+	{0b110011, true, 2},  // D.24
+	{0b100110, false, 0}, // D.25
+	{0b010110, false, 0}, // D.26
+	{0b110110, true, 2},  // D.27
+	{0b001110, false, 0}, // D.28
+	{0b101110, true, 2},  // D.29
+	{0b011110, true, 2},  // D.30
+	{0b101011, true, 2},  // D.31
+}
+
+// enc34 holds the 3b/4b table: 4-bit code (f,g,h,j) at RD-.
+var enc34 = [8]struct {
+	code  uint8
+	flip  bool
+	dispa int8
+}{
+	{0b1011, true, 2},  // D.x.0
+	{0b1001, false, 0}, // D.x.1
+	{0b0101, false, 0}, // D.x.2
+	{0b1100, true, 0},  // D.x.3 (balanced, alternates)
+	{0b1101, true, 2},  // D.x.4
+	{0b1010, false, 0}, // D.x.5
+	{0b0110, false, 0}, // D.x.6
+	{0b1110, true, 2},  // D.x.7 primary
+}
+
+// a7Code is the alternate D.x.A7 code (0111 at RD-, 1000 at RD+), selected
+// to avoid five consecutive identical bits across the 5b/6b boundary.
+const a7Code = 0b0111
+
+// useA7 reports whether byte with low-5-bits x and high-3-bits 7 must use
+// the alternate A7 form at running disparity rd.
+func useA7(x uint8, rd RD) bool {
+	if rd == RDMinus {
+		return x == 17 || x == 18 || x == 20
+	}
+	return x == 11 || x == 13 || x == 14
+}
+
+// Encoder8b10b encodes a byte stream into 10-bit symbols, tracking running
+// disparity. The zero value starts at RD- per the standard.
+type Encoder8b10b struct {
+	rd RD
+}
+
+// RD returns the current running disparity (RDMinus for the zero value).
+func (e *Encoder8b10b) RD() RD {
+	if e.rd == 0 {
+		return RDMinus
+	}
+	return e.rd
+}
+
+// Reset returns the encoder to initial RD-.
+func (e *Encoder8b10b) Reset() { e.rd = RDMinus }
+
+// EncodeByte returns the 10-bit symbol for b: bit 9 is transmitted first
+// (a b c d e i f g h j from MSB to LSB).
+func (e *Encoder8b10b) EncodeByte(b byte) uint16 {
+	rd := e.RD()
+	x := b & 0x1f // low five bits -> 6-bit sub-block
+	y := b >> 5   // high three bits -> 4-bit sub-block
+
+	e5 := enc56[x]
+	six := e5.code
+	if e5.flip && rd == RDPlus {
+		six = ^six & 0x3f
+	}
+	// Update RD after the 6-bit sub-block.
+	if e5.dispa != 0 {
+		rd = -rd
+	}
+
+	var four uint8
+	var disp4 int8
+	if y == 7 && useA7(x, rd) {
+		four = a7Code
+		if rd == RDPlus {
+			four = ^four & 0x0f
+		}
+		disp4 = 2
+	} else {
+		e3 := enc34[y]
+		four = e3.code
+		if e3.flip && rd == RDPlus {
+			four = ^four & 0x0f
+		}
+		disp4 = e3.dispa
+	}
+	if disp4 != 0 {
+		rd = -rd
+	}
+	e.rd = rd
+	return uint16(six)<<4 | uint16(four)
+}
+
+// Encode appends the 10-bit symbols for data to dst and returns it.
+func (e *Encoder8b10b) Encode(dst []uint16, data []byte) []uint16 {
+	for _, b := range data {
+		dst = append(dst, e.EncodeByte(b))
+	}
+	return dst
+}
+
+// decode tables are built once from the encode tables.
+var (
+	dec6 [64]int16 // 6-bit code -> 5-bit value, or -1
+	dec4 [16]int16 // 4-bit code -> 3-bit value, or -1 (A7 handled separately)
+)
+
+func init() {
+	for i := range dec6 {
+		dec6[i] = -1
+	}
+	for i := range dec4 {
+		dec4[i] = -1
+	}
+	for x, e := range enc56 {
+		dec6[e.code] = int16(x)
+		if e.flip {
+			dec6[^e.code&0x3f] = int16(x)
+		}
+	}
+	for y, e := range enc34 {
+		dec4[e.code] = int16(y)
+		if e.flip {
+			dec4[^e.code&0x0f] = int16(y)
+		}
+	}
+	// Alternate A7 forms decode to y=7. 0b0111 collides with nothing in
+	// the 3b/4b primary table; 0b1000 likewise.
+	dec4[a7Code] = 7
+	dec4[^a7Code&0x0f] = 7
+}
+
+// DecodeSymbol decodes one 10-bit symbol back to a byte. It returns an error
+// for symbols outside the 8b/10b data code space.
+func DecodeSymbol(sym uint16) (byte, error) {
+	if sym > 0x3ff {
+		return 0, fmt.Errorf("encoding: symbol %#x exceeds 10 bits", sym)
+	}
+	six := uint8(sym>>4) & 0x3f
+	four := uint8(sym) & 0x0f
+	x := dec6[six]
+	y := dec4[four]
+	if x < 0 || y < 0 {
+		return 0, fmt.Errorf("encoding: invalid 8b/10b symbol %#010b", sym)
+	}
+	return byte(y)<<5 | byte(x), nil
+}
+
+// Decode decodes a sequence of 10-bit symbols to bytes.
+func Decode(symbols []uint16) ([]byte, error) {
+	out := make([]byte, 0, len(symbols))
+	for i, s := range symbols {
+		b, err := DecodeSymbol(s)
+		if err != nil {
+			return nil, fmt.Errorf("symbol %d: %w", i, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// SymbolBits expands a 10-bit symbol into individual line bits, transmitted
+// most significant (bit "a") first.
+func SymbolBits(sym uint16) []bool {
+	out := make([]bool, 10)
+	for i := 0; i < 10; i++ {
+		out[i] = sym&(1<<(9-i)) != 0
+	}
+	return out
+}
+
+// EncodeToBits encodes data and returns the raw line bit stream.
+func (e *Encoder8b10b) EncodeToBits(data []byte) []bool {
+	bits := make([]bool, 0, len(data)*10)
+	for _, b := range data {
+		bits = append(bits, SymbolBits(e.EncodeByte(b))...)
+	}
+	return bits
+}
+
+// MaxZeroRun returns the longest run of false values in bits.
+func MaxZeroRun(bits []bool) int {
+	var run, max int
+	for _, b := range bits {
+		if b {
+			run = 0
+			continue
+		}
+		run++
+		if run > max {
+			max = run
+		}
+	}
+	return max
+}
+
+// MaxOneRun returns the longest run of true values in bits.
+func MaxOneRun(bits []bool) int {
+	var run, max int
+	for _, b := range bits {
+		if !b {
+			run = 0
+			continue
+		}
+		run++
+		if run > max {
+			max = run
+		}
+	}
+	return max
+}

@@ -1,0 +1,169 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllBytesBothDisparities(t *testing.T) {
+	for seed := 0; seed < 2; seed++ {
+		var e Encoder8b10b
+		if seed == 1 {
+			e.rd = RDPlus
+		}
+		for b := 0; b < 256; b++ {
+			sym := e.EncodeByte(byte(b))
+			got, err := DecodeSymbol(sym)
+			if err != nil {
+				t.Fatalf("byte %#02x (start rd %d): %v", b, seed, err)
+			}
+			if got != byte(b) {
+				t.Fatalf("byte %#02x decoded as %#02x", b, got)
+			}
+		}
+	}
+}
+
+func TestRunningDisparityStaysBounded(t *testing.T) {
+	var e Encoder8b10b
+	for b := 0; b < 256; b++ {
+		e.EncodeByte(byte(b))
+		if rd := e.RD(); rd != RDMinus && rd != RDPlus {
+			t.Fatalf("running disparity escaped to %d after byte %#02x", rd, b)
+		}
+	}
+}
+
+func TestSymbolDisparityIsLegal(t *testing.T) {
+	// Every emitted 10-bit symbol must have 4, 5 or 6 ones, and the
+	// cumulative ones-minus-zeros balance of the whole stream must stay
+	// within +-3 bits at symbol boundaries (RD of +-1 means the line
+	// balance is bounded).
+	var e Encoder8b10b
+	balance := 0
+	for round := 0; round < 4; round++ {
+		for b := 0; b < 256; b++ {
+			sym := e.EncodeByte(byte(b))
+			ones := 0
+			for _, bit := range SymbolBits(sym) {
+				if bit {
+					ones++
+				}
+			}
+			if ones < 4 || ones > 6 {
+				t.Fatalf("symbol for %#02x has %d ones", b, ones)
+			}
+			balance += 2*ones - 10
+			if balance < -2 || balance > 2 {
+				t.Fatalf("line balance diverged to %d at byte %#02x", balance, b)
+			}
+		}
+	}
+}
+
+func TestRunLengthBound(t *testing.T) {
+	// The line activity detector depends on 8b/10b never producing more
+	// than 5 consecutive zeros (Sec IV-C). Check over all byte pairs so
+	// every symbol boundary combination is exercised for both entry
+	// disparities reachable from a reset encoder.
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			var e Encoder8b10b
+			bits := e.EncodeToBits([]byte{byte(a), byte(b), byte(a)})
+			if run := MaxZeroRun(bits); run > 5 {
+				t.Fatalf("bytes %#02x,%#02x: zero run %d > 5", a, b, run)
+			}
+			if run := MaxOneRun(bits); run > 5 {
+				t.Fatalf("bytes %#02x,%#02x: one run %d > 5", a, b, run)
+			}
+		}
+	}
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		var e Encoder8b10b
+		syms := e.Encode(nil, data)
+		got, err := Decode(syms)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsInvalidSymbols(t *testing.T) {
+	// 0b1111110000 has a 6-ones sub-block that is not a valid 5b/6b code.
+	if _, err := DecodeSymbol(0b111111_0000); err == nil {
+		t.Error("invalid symbol decoded without error")
+	}
+	if _, err := DecodeSymbol(0x7ff); err == nil {
+		t.Error(">10-bit symbol accepted")
+	}
+	if _, err := Decode([]uint16{0b111111_0000}); err == nil {
+		t.Error("Decode accepted invalid stream")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var e Encoder8b10b
+	first := e.EncodeByte(0x00)
+	e.EncodeByte(0xAB)
+	e.Reset()
+	if got := e.EncodeByte(0x00); got != first {
+		t.Errorf("after Reset, symbol = %#010b, want %#010b", got, first)
+	}
+}
+
+func TestSymbolBits(t *testing.T) {
+	bits := SymbolBits(0b1000000001)
+	if !bits[0] || !bits[9] {
+		t.Errorf("MSB-first expansion wrong: %v", bits)
+	}
+	for i := 1; i < 9; i++ {
+		if bits[i] {
+			t.Errorf("bit %d should be 0", i)
+		}
+	}
+}
+
+func TestMaxRunHelpers(t *testing.T) {
+	bits := []bool{true, false, false, false, true, true, false}
+	if got := MaxZeroRun(bits); got != 3 {
+		t.Errorf("MaxZeroRun = %d", got)
+	}
+	if got := MaxOneRun(bits); got != 2 {
+		t.Errorf("MaxOneRun = %d", got)
+	}
+	if MaxZeroRun(nil) != 0 || MaxOneRun(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestDecodeTableUnambiguous(t *testing.T) {
+	// Every valid symbol produced by the encoder decodes to exactly the
+	// byte that produced it; additionally no two distinct bytes may share
+	// a symbol under the same disparity.
+	for _, rd := range []RD{RDMinus, RDPlus} {
+		seen := map[uint16]byte{}
+		for b := 0; b < 256; b++ {
+			e := Encoder8b10b{rd: rd}
+			sym := e.EncodeByte(byte(b))
+			if prev, dup := seen[sym]; dup {
+				t.Fatalf("rd %d: bytes %#02x and %#02x map to same symbol %#010b", rd, prev, b, sym)
+			}
+			seen[sym] = byte(b)
+		}
+	}
+}

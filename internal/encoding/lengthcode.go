@@ -1,0 +1,177 @@
+package encoding
+
+import (
+	"fmt"
+
+	"baldur/internal/optsig"
+)
+
+// Length-based routing-bit encoding (paper Sec IV-B, a variant of Digital
+// Pulse Interval Width Modulation). Routing bits are represented by the
+// presence of light and decoded without any clock:
+//
+//	logic "0" -> light for 2T
+//	logic "1" -> light for 1T
+//
+// Each routing bit plus its following gap occupies exactly 3T, so the gap is
+// 1T after a "0" and 2T after a "1". The uniform 3T slot is what lets each
+// switch stage find bit k at a fixed offset.
+//
+// The decoder delays the input by 1.3T and samples the delayed signal at the
+// falling edge of the bit: if the delayed signal is still lit, the bit was
+// 2T long (a "0"); otherwise 1T (a "1").
+
+// T is the bit period in femtoseconds.
+const T = optsig.BitPeriodFs
+
+// Slot is the length of one routing-bit slot (bit + gap): 3T.
+const Slot = 3 * T
+
+// DecodeDelay is the 1.3T delay-line used to sample bit length.
+const DecodeDelay = (13*T + 5) / 10 // 1.3T rounded to the femtosecond
+
+// riseFallFs is the 7.3 ps rise/fall time of a TL gate (Table IV) in
+// femtoseconds.
+const riseFallFs = 7300
+
+// DecodeThreshold is the effective pulse-width decision point. The delay
+// line contributes 1.3T, and the analog rise/fall time of the TL gates
+// (7.3 ps = 0.44T) shifts the latch's 50% decision point by half a swing.
+// The resulting threshold of ~1.52T sits nearly midway between the 1T and
+// 2T nominal widths, which is what makes the paper's symmetric 0.42T
+// tolerance (Sec IV-F) achievable; a bare 1.3T threshold would leave only
+// 0.3T of margin on a "1".
+const DecodeThreshold = DecodeDelay + riseFallFs/2
+
+// Tolerance042T is the maximum bit-length perturbation the switch tolerates
+// in either direction (Sec IV-F: 0.42T with 10% gate variation and 1 ps
+// waveguide variation).
+const Tolerance042T = (42*T + 50) / 100 // 0.42T rounded to the femtosecond
+
+// AppendRoutingBits appends the length-encoded routing bits to sig starting
+// at time start, and returns the time at which the payload may begin (the
+// end of the last routing slot).
+func AppendRoutingBits(sig *optsig.Signal, start optsig.Fs, bits []bool) optsig.Fs {
+	t := start
+	for _, b := range bits {
+		width := 2 * T // logic "0"
+		if b {
+			width = T // logic "1"
+		}
+		sig.AddPulse(t, width)
+		t += Slot
+	}
+	return t
+}
+
+// EncodeRoutingBits builds a fresh signal holding only the routing header,
+// starting at time start.
+func EncodeRoutingBits(start optsig.Fs, bits []bool) *optsig.Signal {
+	sig := &optsig.Signal{}
+	AppendRoutingBits(sig, start, bits)
+	return sig
+}
+
+// AppendPayloadBits appends NRZ payload bits (typically an 8b/10b stream) to
+// sig, one bit period each, starting at time start. It returns the end time.
+func AppendPayloadBits(sig *optsig.Signal, start optsig.Fs, bits []bool) optsig.Fs {
+	t := start
+	for _, b := range bits {
+		if b {
+			sig.AddPulse(t, T)
+		}
+		t += T
+	}
+	return t
+}
+
+// DecodeError describes a routing-bit decode failure.
+type DecodeError struct {
+	Bit    int
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("encoding: routing bit %d: %s", e.Bit, e.Reason)
+}
+
+// DecodeRoutingBits recovers n routing bits from a signal using the
+// clock-less rule the switch hardware implements: for each bit, find the
+// rising edge, find the following falling edge, and sample the 1.3T-delayed
+// signal at the falling edge. It mirrors the line activity detector's data
+// path, so running it over jittered signals measures the real decode error
+// rate (Sec IV-F).
+func DecodeRoutingBits(sig *optsig.Signal, n int) ([]bool, error) {
+	pulses := sig.Pulses()
+	if len(pulses) < n {
+		return nil, &DecodeError{Bit: len(pulses), Reason: "signal ended before all routing bits"}
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := pulses[i]
+		// Sampling the delayed signal at the falling edge is
+		// equivalent to comparing the pulse width to the threshold.
+		if p.Width() <= 0 {
+			return nil, &DecodeError{Bit: i, Reason: "empty pulse"}
+		}
+		if p.Width() > DecodeThreshold {
+			out[i] = false // 2T pulse -> "0"
+		} else {
+			out[i] = true // 1T pulse -> "1"
+		}
+	}
+	return out, nil
+}
+
+// MaskFirstRoutingBit returns a copy of the signal with the first routing
+// pulse removed, emulating the switch-fabric AND gate driven by the mask-off
+// latch: at the next stage the second routing bit is the first bit seen.
+func MaskFirstRoutingBit(sig *optsig.Signal) *optsig.Signal {
+	pulses := sig.Pulses()
+	out := &optsig.Signal{}
+	for i, p := range pulses {
+		if i == 0 {
+			continue
+		}
+		out.AddPulse(p.Start, p.Width())
+	}
+	return out
+}
+
+// Frame describes a Baldur packet layout on the wire.
+type Frame struct {
+	RoutingBits  int // one per network stage
+	PayloadBytes int // 8b/10b-coded payload
+}
+
+// WireDurationFs returns the total on-wire duration of the frame: routing
+// slots plus 10 line bits per payload byte, all at bit period T.
+func (f Frame) WireDurationFs() optsig.Fs {
+	return optsig.Fs(f.RoutingBits)*Slot + optsig.Fs(f.PayloadBytes)*10*T
+}
+
+// OverheadVs8b10b returns the fractional bandwidth overhead of the
+// length-based routing header compared to sending the same routing bits
+// 8b/10b-coded along with the payload. The paper quotes 0.34% for 8 routing
+// bits and a 512-byte payload.
+//
+// A routing bit costs 3T under length encoding but only 10/8 = 1.25T under
+// 8b/10b, so the extra on-wire time is (3-1.25)R bit periods, expressed as a
+// fraction of the packet's raw information bits (8 routing bits + 512x8
+// payload bits gives 14T/4104T = 0.34%).
+func (f Frame) OverheadVs8b10b() float64 {
+	extra := (3 - 1.25) * float64(f.RoutingBits)
+	rawBits := float64(f.RoutingBits) + 8*float64(f.PayloadBytes)
+	return extra / rawBits
+}
+
+// EncodeFrame lays a complete packet on a signal: length-coded routing bits
+// followed immediately by the 8b/10b payload stream. It returns the signal
+// and the end-of-packet time.
+func EncodeFrame(start optsig.Fs, routing []bool, payload []byte) (*optsig.Signal, optsig.Fs) {
+	sig := &optsig.Signal{}
+	t := AppendRoutingBits(sig, start, routing)
+	var enc Encoder8b10b
+	t = AppendPayloadBits(sig, t, enc.EncodeToBits(payload))
+	return sig, t
+}

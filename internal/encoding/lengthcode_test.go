@@ -1,0 +1,249 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"baldur/internal/optsig"
+	"baldur/internal/sim"
+)
+
+func TestRoutingBitWidths(t *testing.T) {
+	sig := EncodeRoutingBits(0, []bool{false, true, false})
+	p := sig.Pulses()
+	if len(p) != 3 {
+		t.Fatalf("pulses = %d", len(p))
+	}
+	if p[0].Width() != 2*T {
+		t.Errorf("logic 0 width = %d, want 2T=%d", p[0].Width(), 2*T)
+	}
+	if p[1].Width() != T {
+		t.Errorf("logic 1 width = %d, want T=%d", p[1].Width(), T)
+	}
+	// Each slot is exactly 3T.
+	if p[1].Start-p[0].Start != Slot || p[2].Start-p[1].Start != Slot {
+		t.Errorf("slots not 3T apart: %v", p)
+	}
+}
+
+func TestRoutingRoundTrip(t *testing.T) {
+	bits := []bool{true, false, false, true, true, false, true, false}
+	sig := EncodeRoutingBits(0, bits)
+	got, err := DecodeRoutingBits(sig, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Errorf("bit %d = %v, want %v", i, got[i], bits[i])
+		}
+	}
+}
+
+func TestRoutingRoundTripProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sig := EncodeRoutingBits(1000, raw)
+		got, err := DecodeRoutingBits(sig, len(raw))
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripUnderToleratedJitter(t *testing.T) {
+	// Sec IV-F: the design tolerates up to 0.42T change in any routing
+	// bit length. Perturb every edge by just under half that bound (so a
+	// pulse length changes by at most ~0.42T) and decode must still work.
+	rng := sim.NewRNG(99)
+	bits := []bool{true, false, true, true, false, false, true, false}
+	maxEdge := optsig.Fs(float64(Tolerance042T)/2) - 1
+	for trial := 0; trial < 200; trial++ {
+		sig := EncodeRoutingBits(0, bits)
+		j := sig.Jitter(func() optsig.Fs {
+			return optsig.Fs(rng.Intn(int(2*maxEdge+1))) - maxEdge
+		})
+		got, err := DecodeRoutingBits(j, len(bits))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("trial %d: bit %d flipped under tolerated jitter", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeFailsBeyondTolerance(t *testing.T) {
+	// Stretch a "1" (1T) pulse well beyond the 0.42T tolerance: once its
+	// width crosses the ~1.52T decision point the decoder reads "0".
+	sig := &optsig.Signal{}
+	sig.AddPulse(0, T+6*T/10) // 1.6T
+	got, err := DecodeRoutingBits(sig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != false {
+		t.Error("1.6T pulse decoded as '1'; hardware would read '0'")
+	}
+	// Symmetrically, a "0" (2T) shrunk to 1.4T reads as "1".
+	sig2 := &optsig.Signal{}
+	sig2.AddPulse(0, T+4*T/10)
+	got, err = DecodeRoutingBits(sig2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != true {
+		t.Error("1.4T pulse decoded as '0'; hardware would read '1'")
+	}
+}
+
+func TestToleranceSymmetric(t *testing.T) {
+	// The decision threshold must leave at least 0.42T of margin on both
+	// nominal widths (Sec IV-F).
+	if m := DecodeThreshold - T; m < Tolerance042T {
+		t.Errorf("margin on '1' = %d fs < 0.42T = %d fs", m, Tolerance042T)
+	}
+	if m := 2*T - DecodeThreshold; m < Tolerance042T {
+		t.Errorf("margin on '0' = %d fs < 0.42T = %d fs", m, Tolerance042T)
+	}
+}
+
+func TestDecodeTruncatedSignal(t *testing.T) {
+	sig := EncodeRoutingBits(0, []bool{true, false})
+	if _, err := DecodeRoutingBits(sig, 5); err == nil {
+		t.Error("decoding more bits than present did not fail")
+	}
+}
+
+func TestMaskFirstRoutingBit(t *testing.T) {
+	bits := []bool{false, true, true, false}
+	sig := EncodeRoutingBits(0, bits)
+	masked := MaskFirstRoutingBit(sig)
+	got, err := DecodeRoutingBits(masked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bits[1:]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("after mask, bit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaskingIsIterable(t *testing.T) {
+	// Masking once per stage must peel routing bits one at a time, which
+	// is exactly how a packet traverses a 4-stage network.
+	bits := []bool{true, false, true, false}
+	sig := EncodeRoutingBits(0, bits)
+	for stage := 0; stage < len(bits); stage++ {
+		got, err := DecodeRoutingBits(sig, 1)
+		if err != nil {
+			t.Fatalf("stage %d: %v", stage, err)
+		}
+		if got[0] != bits[stage] {
+			t.Fatalf("stage %d read %v, want %v", stage, got[0], bits[stage])
+		}
+		sig = MaskFirstRoutingBit(sig)
+	}
+}
+
+func TestFrameGapBound(t *testing.T) {
+	// Inside a full frame (routing header + 8b/10b payload) the longest
+	// dark gap must stay below the 6T end-of-packet threshold.
+	routing := []bool{true, true, true, true, true, true, true, true}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	sig, _ := EncodeFrame(0, routing, payload)
+	if gap := sig.MaxDarkGap(); gap >= 6*T {
+		t.Errorf("internal dark gap %d >= 6T=%d; detector would split the packet", gap, 6*T)
+	}
+}
+
+func TestFrameGapBoundProperty(t *testing.T) {
+	f := func(routing []bool, payload []byte) bool {
+		if len(routing) == 0 || len(routing) > 20 {
+			return true
+		}
+		sig, _ := EncodeFrame(0, routing, payload)
+		return sig.MaxDarkGap() < 6*T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	// Paper Sec IV-B: 8 routing bits + 512-byte payload -> 0.34%.
+	f := Frame{RoutingBits: 8, PayloadBytes: 512}
+	got := f.OverheadVs8b10b()
+	if math.Abs(got-0.0034) > 0.0002 {
+		t.Errorf("overhead = %.4f%%, want ~0.34%%", got*100)
+	}
+}
+
+func TestWireDuration(t *testing.T) {
+	f := Frame{RoutingBits: 2, PayloadBytes: 1}
+	want := 2*Slot + 10*T
+	if got := f.WireDurationFs(); got != want {
+		t.Errorf("WireDurationFs = %d, want %d", got, want)
+	}
+}
+
+func TestEncodeFramePayloadDecodes(t *testing.T) {
+	routing := []bool{true, false}
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	sig, end := EncodeFrame(0, routing, payload)
+	if end != 2*Slot+optsig.Fs(len(payload))*10*T {
+		t.Errorf("end = %d", end)
+	}
+	// Recover the payload by sampling the NRZ region at bit centers.
+	start := optsig.Fs(2 * Slot)
+	var lineBits []bool
+	for i := 0; i < len(payload)*10; i++ {
+		lineBits = append(lineBits, sig.Level(start+optsig.Fs(i)*T+T/2))
+	}
+	var syms []uint16
+	for i := 0; i < len(payload); i++ {
+		var sym uint16
+		for j := 0; j < 10; j++ {
+			sym <<= 1
+			if lineBits[i*10+j] {
+				sym |= 1
+			}
+		}
+		syms = append(syms, sym)
+	}
+	got, err := Decode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Errorf("payload byte %d = %#02x, want %#02x", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestDecodeErrorMessage(t *testing.T) {
+	err := &DecodeError{Bit: 3, Reason: "x"}
+	if err.Error() == "" {
+		t.Error("empty error message")
+	}
+}

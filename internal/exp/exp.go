@@ -1,0 +1,280 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation, each reproducing the corresponding rows/series
+// (Table IV, Table V, Fig 5 is covered by internal/switchckt tests, Fig 6,
+// Fig 7, Fig 8, Fig 9, Fig 10, plus the Sec IV-E drop-model, Sec IV-F
+// reliability, Sec IV-G packaging and Sec VII AWGR analyses).
+//
+// Each runner is parameterized by a Scale: Quick (CI-sized: fewer nodes and
+// packets; shapes and orderings preserved) or Full (the paper's 1,024-node /
+// 10,000-packets-per-node configuration — minutes of CPU).
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"baldur/internal/core"
+	"baldur/internal/elecnet"
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+	"baldur/internal/traffic"
+)
+
+// Scale selects the experiment size.
+type Scale struct {
+	Name           string
+	Nodes          int // Baldur / electrical MB node count (power of two)
+	PacketsPerNode int
+	DragonflyP     int // dragonfly parameter p
+	FatTreeK       int // fat-tree radix
+	TraceIters     int // HPC workload iterations
+	Seed           uint64
+	// MaxSimTime bounds a single run's virtual time as a safety net
+	// against saturation-induced crawl (0 = 1 s of virtual time).
+	MaxSimTime sim.Duration
+	// Warmup excludes packets created before this virtual time from the
+	// latency statistics (steady-state measurement; 0 = measure all).
+	Warmup sim.Duration
+}
+
+// Quick is the CI-sized scale. Node counts are matched as closely as the
+// three topologies allow (64 / 72 / 54), so cross-network comparisons are
+// not skewed by size.
+var Quick = Scale{
+	Name:           "quick",
+	Nodes:          64,
+	PacketsPerNode: 100,
+	DragonflyP:     2, // 72 nodes
+	FatTreeK:       6, // 54 hosts
+	TraceIters:     2,
+	Seed:           1,
+}
+
+// Medium sits between Quick and Full: 256 / 342 / 250 nodes.
+var Medium = Scale{
+	Name:           "medium",
+	Nodes:          256,
+	PacketsPerNode: 400,
+	DragonflyP:     3,  // 342 nodes
+	FatTreeK:       10, // 250 hosts
+	TraceIters:     3,
+	Seed:           1,
+}
+
+// Full is the paper's configuration: 1,024-node Baldur/MB, 1,056-node
+// dragonfly, 1,024-host fat-tree, 10,000 packets per node.
+var Full = Scale{
+	Name:           "full",
+	Nodes:          1024,
+	PacketsPerNode: 10000,
+	DragonflyP:     4,
+	FatTreeK:       16,
+	TraceIters:     4,
+	Seed:           1,
+}
+
+func (sc Scale) maxSim() sim.Time {
+	if sc.MaxSimTime == 0 {
+		return sim.Time(1 * sim.Second)
+	}
+	return sim.Time(sc.MaxSimTime)
+}
+
+// NetworkNames lists the evaluated networks in the paper's order.
+var NetworkNames = []string{"baldur", "multibutterfly", "dragonfly", "fattree", "ideal"}
+
+// instance couples a live network with its metadata.
+type instance struct {
+	name string
+	net  netsim.Network
+	// drained reports outstanding work (Baldur only; lossless networks
+	// drain by construction when the engine empties).
+	stats func() (drops uint64, attempts uint64)
+}
+
+// build constructs one named network at the given scale. Patterns are
+// generated per network because node counts differ slightly (1,024 vs
+// 1,056), exactly as in the paper.
+func build(name string, sc Scale) (*instance, error) {
+	switch name {
+	case "baldur":
+		n, err := core.New(core.Config{Nodes: sc.Nodes, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &instance{
+			name: name, net: n,
+			stats: func() (uint64, uint64) { return n.Stats.DataDrops, n.Stats.DataAttempts },
+		}, nil
+	case "multibutterfly":
+		n, err := elecnet.NewMultiButterfly(elecnet.MBConfig{Nodes: sc.Nodes, Multiplicity: 4, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &instance{name: name, net: n, stats: zeroStats}, nil
+	case "dragonfly":
+		n, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: sc.DragonflyP, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &instance{name: name, net: n, stats: zeroStats}, nil
+	case "fattree":
+		n, err := elecnet.NewFatTree(elecnet.FatTreeConfig{K: sc.FatTreeK})
+		if err != nil {
+			return nil, err
+		}
+		return &instance{name: name, net: n, stats: zeroStats}, nil
+	case "ideal":
+		return &instance{name: name, net: elecnet.NewIdeal(sc.Nodes, 0), stats: zeroStats}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown network %q", name)
+}
+
+func zeroStats() (uint64, uint64) { return 0, 0 }
+
+// patternFor generates a named traffic pattern sized for the given network.
+func patternFor(pattern string, nodes int, sc Scale) (*traffic.Pattern, error) {
+	// Dragonfly group size at this scale (for group_permutation and
+	// ping_pong2 the paper constructs pairs from dragonfly groups and
+	// replays them on every network).
+	group := 2 * sc.DragonflyP * sc.DragonflyP // a*p
+	switch pattern {
+	case "random_permutation":
+		return traffic.RandomPermutation(nodes, sc.Seed+10), nil
+	case "transpose":
+		return traffic.Transpose(nodes), nil
+	case "bisection":
+		return traffic.Bisection(nodes, sc.Seed+11), nil
+	case "group_permutation":
+		return traffic.GroupPermutation(nodes, group, sc.Seed+12), nil
+	case "hotspot":
+		return traffic.Hotspot(nodes, 0), nil
+	case "ping_pong1":
+		return traffic.PingPongPairs1(nodes, sc.Seed+13), nil
+	case "ping_pong2":
+		return traffic.PingPongPairs2(nodes, group, sc.Seed+14), nil
+	}
+	return nil, fmt.Errorf("exp: unknown pattern %q", pattern)
+}
+
+// Fig6Patterns are the open-loop patterns of Fig 6.
+var Fig6Patterns = []string{"random_permutation", "transpose", "bisection", "group_permutation"}
+
+// Fig6Loads are the swept input loads.
+var Fig6Loads = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+// Point is one measurement: a network at one load.
+type Point struct {
+	Network  string
+	Load     float64
+	AvgNS    float64
+	TailNS   float64
+	DropRate float64 // Baldur only; 0 for lossless networks
+	Finished bool    // false if the safety horizon cut the run short
+}
+
+// RunOpenLoop measures one (network, pattern, load) cell.
+func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error) {
+	inst, err := build(network, sc)
+	if err != nil {
+		return Point{}, err
+	}
+	pat, err := patternFor(pattern, inst.net.NumNodes(), sc)
+	if err != nil {
+		return Point{}, err
+	}
+	var col netsim.Collector
+	col.Warmup = sim.Time(sc.Warmup)
+	col.Attach(inst.net)
+	ol := traffic.OpenLoop{
+		Pattern:        pat,
+		Load:           load,
+		PacketsPerNode: sc.PacketsPerNode,
+		Seed:           sc.Seed + 100,
+	}
+	ol.Start(inst.net)
+	more := inst.net.Engine().RunUntil(sc.maxSim())
+	drops, attempts := inst.stats()
+	p := Point{
+		Network:  network,
+		Load:     load,
+		AvgNS:    col.AvgNS(),
+		TailNS:   col.TailNS(),
+		Finished: !more,
+	}
+	if attempts > 0 {
+		p.DropRate = float64(drops) / float64(attempts)
+	}
+	return p, nil
+}
+
+// RunPingPong measures a closed-loop ping-pong workload on one network.
+func RunPingPong(network, pattern string, sc Scale) (Point, error) {
+	inst, err := build(network, sc)
+	if err != nil {
+		return Point{}, err
+	}
+	pat, err := patternFor(pattern, inst.net.NumNodes(), sc)
+	if err != nil {
+		return Point{}, err
+	}
+	var col netsim.Collector
+	col.Warmup = sim.Time(sc.Warmup)
+	col.Attach(inst.net)
+	pp := traffic.PingPong{Pattern: pat, Rounds: sc.PacketsPerNode}
+	pp.Start(inst.net)
+	more := inst.net.Engine().RunUntil(sc.maxSim())
+	drops, attempts := inst.stats()
+	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more}
+	if attempts > 0 {
+		p.DropRate = float64(drops) / float64(attempts)
+	}
+	return p, nil
+}
+
+// renderTable renders rows as a fixed-width text table.
+func renderTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders rows as comma-separated values with a header.
+func CSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

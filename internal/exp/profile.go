@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+	"baldur/internal/traffic"
+)
+
+// LatencyProfile is the full latency distribution of one (network, pattern,
+// load) cell — the detail behind Fig 6's avg/p99 pair.
+type LatencyProfile struct {
+	Network string
+	Pattern string
+	Load    float64
+	P50     float64
+	P90     float64
+	P99     float64
+	P999    float64
+	Max     float64
+	Mean    float64
+	Samples int64
+}
+
+// Profile measures the latency distribution for one cell.
+func Profile(network, pattern string, load float64, sc Scale) (LatencyProfile, error) {
+	inst, err := build(network, sc)
+	if err != nil {
+		return LatencyProfile{}, err
+	}
+	pat, err := patternFor(pattern, inst.net.NumNodes(), sc)
+	if err != nil {
+		return LatencyProfile{}, err
+	}
+	var col netsim.Collector
+	col.Warmup = sim.Time(sc.Warmup)
+	col.Attach(inst.net)
+	ol := traffic.OpenLoop{
+		Pattern:        pat,
+		Load:           load,
+		PacketsPerNode: sc.PacketsPerNode,
+		Seed:           sc.Seed + 100,
+	}
+	ol.Start(inst.net)
+	inst.net.Engine().RunUntil(sc.maxSim())
+	h := &col.Latency
+	return LatencyProfile{
+		Network: network,
+		Pattern: pattern,
+		Load:    load,
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
+		Max:     h.Max(),
+		Mean:    h.Mean(),
+		Samples: h.N(),
+	}, nil
+}
+
+// RenderProfiles formats a set of profiles as a percentile table.
+func RenderProfiles(profiles []LatencyProfile) string {
+	rows := make([][]string, len(profiles))
+	for i, p := range profiles {
+		rows[i] = []string{
+			p.Network,
+			fmt.Sprintf("%.1f", p.Load),
+			fmt.Sprintf("%.0f", p.Mean),
+			fmt.Sprintf("%.0f", p.P50),
+			fmt.Sprintf("%.0f", p.P90),
+			fmt.Sprintf("%.0f", p.P99),
+			fmt.Sprintf("%.0f", p.P999),
+			fmt.Sprintf("%.0f", p.Max),
+		}
+	}
+	return "Latency distribution (ns)\n" + renderTable(
+		[]string{"network", "load", "mean", "p50", "p90", "p99", "p99.9", "max"}, rows)
+}

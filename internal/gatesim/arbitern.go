@@ -1,0 +1,73 @@
+package gatesim
+
+// ArbiterN generalizes Arbiter2 to n requesters contending for one resource
+// (one output path of a multiplicity-m switch, which 2m inputs can
+// request). Semantics match Arbiter2: non-queueing availability check — a
+// request asserted while the resource is held is permanently stale for that
+// assertion. Gate cost is 2n (a latch tree plus threshold gates), matching
+// the paper's observation that arbitration hardware grows with port count.
+type ArbiterN struct {
+	Grants []Node
+}
+
+type arbiterN struct {
+	req    []bool
+	stale  []bool
+	owner  int
+	grants []outputDriver
+}
+
+// NewArbiterN builds the arbiter. Ties at identical timestamps resolve to
+// the lowest port index.
+func (c *Circuit) NewArbiterN(reqs []Node, name string) *ArbiterN {
+	n := len(reqs)
+	if n < 2 {
+		panic("gatesim: ArbiterN needs >= 2 requesters")
+	}
+	a := &arbiterN{
+		req:    make([]bool, n),
+		stale:  make([]bool, n),
+		owner:  -1,
+		grants: make([]outputDriver, n),
+	}
+	out := &ArbiterN{Grants: make([]Node, n)}
+	for i := range reqs {
+		g := c.NewNode(name + ".G" + num(i))
+		out.Grants[i] = g
+		a.grants[i] = outputDriver{c: c, out: g, delay: c.gateDelayFor() * 2}
+		c.attach(reqs[i], a, i)
+		a.req[i] = c.nodes[reqs[i]].level
+		c.nodes[g].driven = true
+	}
+	c.gateCount += 2 * n
+	return out
+}
+
+func num(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func (a *arbiterN) inputChanged(c *Circuit, port int, level bool) {
+	a.req[port] = level
+	if !level {
+		a.stale[port] = false
+	} else if a.owner != -1 && a.owner != port {
+		a.stale[port] = true
+	}
+	if a.owner == port && !level {
+		a.grants[port].drive(false)
+		a.owner = -1
+	}
+	if a.owner == -1 {
+		for i, r := range a.req {
+			if r && !a.stale[i] {
+				a.owner = i
+				a.grants[i].drive(true)
+				break
+			}
+		}
+	}
+}

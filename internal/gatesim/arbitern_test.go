@@ -1,0 +1,136 @@
+package gatesim
+
+import (
+	"testing"
+
+	"baldur/internal/optsig"
+)
+
+func TestArbiterNMutualExclusion(t *testing.T) {
+	c := New(Config{})
+	reqs := make([]Node, 4)
+	for i := range reqs {
+		reqs[i] = c.NewNode("r")
+	}
+	arb := c.NewArbiterN(reqs, "arb")
+	probes := make([]*optsig.Signal, 4)
+	for i, g := range arb.Grants {
+		probes[i] = c.Probe(g)
+	}
+	// Staggered overlapping requests from all four ports.
+	for i := range reqs {
+		var s optsig.Signal
+		for k := optsig.Fs(0); k < 30; k++ {
+			s.AddPulse(k*50000+optsig.Fs(i)*9000, 22000)
+		}
+		c.PlaySignal(reqs[i], &s)
+	}
+	c.Run(50000 * 40)
+
+	// Merge all grant edges and verify at most one is high at any time.
+	type ev struct {
+		t     Fs
+		idx   int
+		level bool
+	}
+	var evs []ev
+	for i, p := range probes {
+		for _, e := range p.Edges() {
+			evs = append(evs, ev{t: e.T, idx: i, level: e.Level})
+		}
+	}
+	// Insertion sort by time (small N).
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].t < evs[j-1].t; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	high := map[int]bool{}
+	for _, e := range evs {
+		if e.level {
+			high[e.idx] = true
+		} else {
+			delete(high, e.idx)
+		}
+		if len(high) > 1 {
+			t.Fatalf("multiple grants high at %d: %v", e.t, high)
+		}
+	}
+	if len(evs) == 0 {
+		t.Fatal("no grants at all")
+	}
+}
+
+func TestArbiterNStaleSemantics(t *testing.T) {
+	c := New(Config{})
+	reqs := []Node{c.NewNode("a"), c.NewNode("b"), c.NewNode("c")}
+	arb := c.NewArbiterN(reqs, "arb")
+	g1 := c.Probe(arb.Grants[1])
+	g2 := c.Probe(arb.Grants[2])
+	// Port 0 holds; ports 1 and 2 request while busy and give up.
+	c.PlaySignal(reqs[0], pulseAt(10000, 50000))
+	c.PlaySignal(reqs[1], pulseAt(20000, 60000)) // outlives port 0: still stale
+	var s2 optsig.Signal
+	s2.AddPulse(25000, 10000) // stale attempt
+	s2.AddPulse(70000, 10000) // re-assertion after release: wins
+	c.PlaySignal(reqs[2], &s2)
+	c.Run(300000)
+	if g1.NumEdges() != 0 {
+		t.Errorf("stale request on port 1 was granted: %v", g1)
+	}
+	p := g2.Pulses()
+	if len(p) != 1 || p[0].Start < 70000 {
+		t.Errorf("port 2 re-assertion not granted cleanly: %v", p)
+	}
+}
+
+func TestArbiterNGateCost(t *testing.T) {
+	c := New(Config{})
+	reqs := make([]Node, 8)
+	for i := range reqs {
+		reqs[i] = c.NewNode("r")
+	}
+	c.NewArbiterN(reqs, "arb")
+	if got := c.GateCount(); got != 16 {
+		t.Errorf("8-way arbiter gate count = %d, want 16", got)
+	}
+}
+
+func TestArbiterNPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-requester arbiter did not panic")
+		}
+	}()
+	c := New(Config{})
+	c.NewArbiterN([]Node{c.NewNode("r")}, "arb")
+}
+
+func TestNumHelper(t *testing.T) {
+	if num(7) != "7" || num(12) != "12" {
+		t.Errorf("num formatting wrong: %q %q", num(7), num(12))
+	}
+}
+
+func TestCircuitNow(t *testing.T) {
+	c := New(Config{})
+	in := c.NewNode("in")
+	c.Buf(in, "out")
+	c.PlaySignal(in, pulseAt(1000, 1000))
+	c.Run(5000)
+	if c.Now() == 0 {
+		t.Error("Now() did not advance")
+	}
+}
+
+func TestDelayWithVariationStaysPositive(t *testing.T) {
+	c := New(Config{WaveguideVariation: 5000, Seed: 2})
+	in := c.NewNode("in")
+	out := c.Delay(in, 1000, "d") // variation exceeds nominal: must clamp to >= 1
+	probe := c.Probe(out)
+	c.PlaySignal(in, pulseAt(10000, 5000))
+	c.Run(100000)
+	if probe.NumEdges() != 2 {
+		t.Errorf("delay element broken under large variation: %v", probe)
+	}
+}

@@ -1,0 +1,93 @@
+// Package netsim defines the packet type and the network-simulator
+// interface shared by Baldur (internal/core), the electrical baselines
+// (internal/elecnet) and the workload drivers (internal/traffic,
+// internal/trace). Keeping the contract here lets every workload run
+// unchanged against every network.
+package netsim
+
+import (
+	"baldur/internal/sim"
+	"baldur/internal/stats"
+)
+
+// Packet is one network packet. Packets are created by Network.Send and
+// owned by the network until delivery.
+type Packet struct {
+	ID      uint64
+	Src     int
+	Dst     int
+	Size    int // bytes on the wire
+	Created sim.Time
+
+	// Ack marks Baldur acknowledgement packets (internal to the
+	// retransmission protocol; never surfaced through OnDeliver).
+	Ack bool
+	// Seq is the per-source sequence number used for ACK matching and
+	// receiver-side deduplication.
+	Seq uint64
+	// AckFor is the sequence being acknowledged (ACK packets only).
+	AckFor uint64
+	// Retries counts retransmissions so far.
+	Retries int
+	// RouteTag carries the per-attempt random routing bits used by the
+	// distribution stages of Benes-style topologies (Valiant routing);
+	// unused (0) on destination-tag-only networks.
+	RouteTag uint64
+	// NotBefore delays (re)transmission until the given time (binary
+	// exponential backoff).
+	NotBefore sim.Time
+	// Acked marks packets whose ACK arrived while they were still queued
+	// for retransmission; the NIC discards them instead of sending.
+	Acked bool
+}
+
+// Network is a simulated interconnect. Implementations are single-threaded:
+// all calls must happen from the owning goroutine, typically from within
+// engine events.
+type Network interface {
+	// Engine returns the event engine driving this network. Workload
+	// generators schedule their injections on it.
+	Engine() *sim.Engine
+	// NumNodes returns the number of server nodes.
+	NumNodes() int
+	// Send creates a data packet from src to dst and hands it to src's
+	// NIC at the current virtual time. It returns the packet.
+	Send(src, dst, size int) *Packet
+	// OnDeliver registers the delivery callback, invoked exactly once
+	// per unique data packet when its last bit reaches the destination.
+	OnDeliver(fn func(p *Packet, at sim.Time))
+}
+
+// Collector accumulates the latency statistics the paper reports: average
+// and 99th-percentile ("tail") packet latency in nanoseconds.
+type Collector struct {
+	Latency   stats.Histogram
+	delivered uint64
+
+	// Warmup, if set, excludes packets *created* before this virtual
+	// time from the statistics (standard steady-state measurement
+	// practice; deliveries still count toward Delivered).
+	Warmup sim.Time
+}
+
+// Attach subscribes the collector to a network's deliveries. Latency is
+// measured from packet creation (entering the source queue) to last-bit
+// delivery, the same definition CODES reports.
+func (c *Collector) Attach(n Network) {
+	n.OnDeliver(func(p *Packet, at sim.Time) {
+		c.delivered++
+		if p.Created < c.Warmup {
+			return
+		}
+		c.Latency.Add(float64(at.Sub(p.Created).Nanoseconds()))
+	})
+}
+
+// Delivered returns the count of unique delivered packets.
+func (c *Collector) Delivered() uint64 { return c.delivered }
+
+// AvgNS returns the mean packet latency in nanoseconds.
+func (c *Collector) AvgNS() float64 { return c.Latency.Mean() }
+
+// TailNS returns the 99th-percentile packet latency in nanoseconds.
+func (c *Collector) TailNS() float64 { return c.Latency.P99() }

@@ -1,0 +1,200 @@
+// Package optsig represents binary optical signals as sequences of level
+// transitions with femtosecond timestamps. It is the common currency between
+// the clock-less codec (internal/encoding) and the gate-level circuit
+// simulator (internal/gatesim).
+//
+// Femtoseconds are used because the bit period of the length-based encoding
+// is T = 1/60 GHz = 16.667 ps: the fractional picosecond matters when the
+// line activity detector samples at 1.3T and tolerances are 0.42T.
+package optsig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fs is a point in time measured in integer femtoseconds.
+type Fs = int64
+
+// Common time units in femtoseconds.
+const (
+	Femtosecond Fs = 1
+	Picosecond  Fs = 1000
+	Nanosecond  Fs = 1000 * Picosecond
+)
+
+// BitPeriodFs is T, the bit period of the 60 Gbps length-based encoding,
+// in femtoseconds (1/60 GHz = 16.6667 ps, rounded to the femtosecond).
+const BitPeriodFs Fs = 16667
+
+// Edge is a level transition: the signal assumes Level at time T.
+type Edge struct {
+	T     Fs
+	Level bool
+}
+
+// Signal is a piecewise-constant binary optical signal. It starts dark
+// (level 0) at t = -infinity and changes level at each edge. Edges are kept
+// strictly increasing in time with strictly alternating levels.
+type Signal struct {
+	edges []Edge
+}
+
+// Level returns the signal level at time t (edges take effect at their own
+// timestamp).
+func (s *Signal) Level(t Fs) bool {
+	// Binary search for the last edge with T <= t.
+	i := sort.Search(len(s.edges), func(i int) bool { return s.edges[i].T > t })
+	if i == 0 {
+		return false
+	}
+	return s.edges[i-1].Level
+}
+
+// Edges returns the transition list. The returned slice is owned by the
+// Signal and must not be modified.
+func (s *Signal) Edges() []Edge { return s.edges }
+
+// NumEdges returns the number of transitions.
+func (s *Signal) NumEdges() int { return len(s.edges) }
+
+// End returns the time of the final transition, or 0 for an empty signal.
+func (s *Signal) End() Fs {
+	if len(s.edges) == 0 {
+		return 0
+	}
+	return s.edges[len(s.edges)-1].T
+}
+
+// Append adds a transition to level at time t. Appending a non-transition
+// (same level as current) is ignored; appending out of order panics because
+// it always indicates a builder bug.
+func (s *Signal) Append(t Fs, level bool) {
+	if n := len(s.edges); n > 0 {
+		last := s.edges[n-1]
+		if t < last.T {
+			panic(fmt.Sprintf("optsig: edge at %d before last edge %d", t, last.T))
+		}
+		if level == last.Level {
+			return
+		}
+		if t == last.T {
+			// A zero-width pulse collapses: remove the previous edge.
+			s.edges = s.edges[:n-1]
+			return
+		}
+	} else if !level {
+		return // still dark; not a transition
+	}
+	s.edges = append(s.edges, Edge{T: t, Level: level})
+}
+
+// AddPulse appends a light pulse [start, start+width). It must begin at or
+// after the end of the signal so far.
+func (s *Signal) AddPulse(start, width Fs) {
+	if width <= 0 {
+		return
+	}
+	s.Append(start, true)
+	s.Append(start+width, false)
+}
+
+// Pulse is a contiguous interval of light.
+type Pulse struct {
+	Start, End Fs
+}
+
+// Width returns the pulse duration.
+func (p Pulse) Width() Fs { return p.End - p.Start }
+
+// Pulses decomposes the signal into its light intervals.
+func (s *Signal) Pulses() []Pulse {
+	var out []Pulse
+	for i := 0; i+1 < len(s.edges); i += 2 {
+		out = append(out, Pulse{Start: s.edges[i].T, End: s.edges[i+1].T})
+	}
+	// A signal may end high (trailing light without a recorded fall).
+	if len(s.edges)%2 == 1 {
+		out = append(out, Pulse{Start: s.edges[len(s.edges)-1].T, End: s.edges[len(s.edges)-1].T})
+	}
+	return out
+}
+
+// Shift returns a copy of the signal delayed by d (which may be negative as
+// long as no edge becomes negative-ordered; ordering is preserved under a
+// uniform shift regardless).
+func (s *Signal) Shift(d Fs) *Signal {
+	out := &Signal{edges: make([]Edge, len(s.edges))}
+	for i, e := range s.edges {
+		out.edges[i] = Edge{T: e.T + d, Level: e.Level}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Signal) Clone() *Signal {
+	out := &Signal{edges: make([]Edge, len(s.edges))}
+	copy(out.edges, s.edges)
+	return out
+}
+
+// MaxDarkGap returns the longest absence-of-light interval strictly inside
+// the signal (between the first rise and the last fall). Returns 0 when the
+// signal has fewer than two pulses. The line activity detector declares
+// end-of-packet after 6T of darkness, so encoders must keep every internal
+// gap under that bound.
+func (s *Signal) MaxDarkGap() Fs {
+	pulses := s.Pulses()
+	var max Fs
+	for i := 1; i < len(pulses); i++ {
+		if gap := pulses[i].Start - pulses[i-1].End; gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+// Jitter returns a copy with each edge independently perturbed by the given
+// function (typically Gaussian noise), re-sorted and re-normalized so the
+// result is a valid signal even if perturbations reorder edges.
+func (s *Signal) Jitter(perturb func() Fs) *Signal {
+	type te struct {
+		t     Fs
+		level bool
+	}
+	tmp := make([]te, len(s.edges))
+	for i, e := range s.edges {
+		tmp[i] = te{t: e.T + perturb(), level: e.Level}
+	}
+	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].t < tmp[j].t })
+	out := &Signal{}
+	for _, e := range tmp {
+		out.Append(e.t, e.level)
+	}
+	return out
+}
+
+// Equal reports whether two signals have identical transition lists.
+func (s *Signal) Equal(o *Signal) bool {
+	if len(s.edges) != len(o.edges) {
+		return false
+	}
+	for i := range s.edges {
+		if s.edges[i] != o.edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signal as a compact pulse list for debugging.
+func (s *Signal) String() string {
+	out := "optsig["
+	for i, p := range s.Pulses() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d..%d", p.Start, p.End)
+	}
+	return out + "]"
+}

@@ -1,0 +1,217 @@
+package optsig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelAndAppend(t *testing.T) {
+	var s Signal
+	s.Append(100, true)
+	s.Append(200, false)
+	s.Append(300, true)
+	cases := []struct {
+		t    Fs
+		want bool
+	}{
+		{0, false}, {99, false}, {100, true}, {150, true},
+		{200, false}, {250, false}, {300, true}, {1000, true},
+	}
+	for _, c := range cases {
+		if got := s.Level(c.t); got != c.want {
+			t.Errorf("Level(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestAppendIgnoresNonTransitions(t *testing.T) {
+	var s Signal
+	s.Append(50, false) // still dark: no edge
+	s.Append(100, true)
+	s.Append(150, true) // already lit: no edge
+	if s.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", s.NumEdges())
+	}
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	var s Signal
+	s.Append(100, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order append did not panic")
+		}
+	}()
+	s.Append(50, false)
+}
+
+func TestZeroWidthPulseCollapses(t *testing.T) {
+	var s Signal
+	s.Append(100, true)
+	s.Append(100, false) // zero-width pulse disappears entirely
+	if s.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", s.NumEdges())
+	}
+}
+
+func TestPulses(t *testing.T) {
+	var s Signal
+	s.AddPulse(10, 5)
+	s.AddPulse(20, 10)
+	p := s.Pulses()
+	if len(p) != 2 {
+		t.Fatalf("len(Pulses) = %d", len(p))
+	}
+	if p[0] != (Pulse{10, 15}) || p[1] != (Pulse{20, 30}) {
+		t.Errorf("Pulses = %v", p)
+	}
+	if p[0].Width() != 5 {
+		t.Errorf("Width = %d", p[0].Width())
+	}
+}
+
+func TestAddPulseZeroWidthIgnored(t *testing.T) {
+	var s Signal
+	s.AddPulse(10, 0)
+	s.AddPulse(10, -5)
+	if s.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", s.NumEdges())
+	}
+}
+
+func TestAdjacentPulsesMerge(t *testing.T) {
+	var s Signal
+	s.AddPulse(10, 5)
+	s.AddPulse(15, 5) // starts exactly at previous fall: merges
+	p := s.Pulses()
+	if len(p) != 1 || p[0] != (Pulse{10, 20}) {
+		t.Errorf("Pulses = %v, want one merged pulse 10..20", p)
+	}
+}
+
+func TestShift(t *testing.T) {
+	var s Signal
+	s.AddPulse(100, 50)
+	d := s.Shift(25)
+	if got := d.Pulses()[0]; got != (Pulse{125, 175}) {
+		t.Errorf("shifted pulse = %v", got)
+	}
+	// Original is untouched.
+	if got := s.Pulses()[0]; got != (Pulse{100, 150}) {
+		t.Errorf("original mutated: %v", got)
+	}
+}
+
+func TestMaxDarkGap(t *testing.T) {
+	var s Signal
+	s.AddPulse(0, 10)
+	s.AddPulse(30, 10)  // gap 20
+	s.AddPulse(100, 10) // gap 60
+	if got := s.MaxDarkGap(); got != 60 {
+		t.Errorf("MaxDarkGap = %d, want 60", got)
+	}
+	var single Signal
+	single.AddPulse(0, 10)
+	if got := single.MaxDarkGap(); got != 0 {
+		t.Errorf("single-pulse MaxDarkGap = %d, want 0", got)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	var s Signal
+	s.AddPulse(5, 10)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.AddPulse(100, 10)
+	if s.Equal(c) {
+		t.Error("mutated clone still equal")
+	}
+	if s.NumEdges() != 2 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestJitterPreservesEdgeCount(t *testing.T) {
+	var s Signal
+	for i := Fs(0); i < 10; i++ {
+		s.AddPulse(i*100, 40)
+	}
+	j := s.Jitter(func() Fs { return 3 })
+	if j.NumEdges() != s.NumEdges() {
+		t.Errorf("jittered edges = %d, want %d", j.NumEdges(), s.NumEdges())
+	}
+	for i, e := range j.Edges() {
+		if e.T != s.Edges()[i].T+3 {
+			t.Errorf("edge %d not shifted by 3", i)
+		}
+	}
+}
+
+func TestJitterReorderingCollapses(t *testing.T) {
+	// A perturbation large enough to swap a pulse's edges must still
+	// produce a valid alternating signal.
+	var s Signal
+	s.AddPulse(100, 2)
+	sign := Fs(10)
+	j := s.Jitter(func() Fs { sign = -sign; return sign })
+	// Rise moved to 90, fall to 112 or collapsed: either way valid.
+	edges := j.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i].T <= edges[i-1].T {
+			t.Errorf("edges not strictly increasing: %v", edges)
+		}
+		if edges[i].Level == edges[i-1].Level {
+			t.Errorf("edges not alternating: %v", edges)
+		}
+	}
+}
+
+func TestSignalValidityProperty(t *testing.T) {
+	// Any sequence of AddPulse calls with non-decreasing starts yields
+	// strictly increasing, alternating edges.
+	f := func(widths []uint8, gaps []uint8) bool {
+		var s Signal
+		t := Fs(0)
+		n := len(widths)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			s.AddPulse(t, Fs(widths[i]))
+			t += Fs(widths[i]) + Fs(gaps[i])
+		}
+		edges := s.Edges()
+		for i := 1; i < len(edges); i++ {
+			if edges[i].T <= edges[i-1].T || edges[i].Level == edges[i-1].Level {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndAndString(t *testing.T) {
+	var s Signal
+	if s.End() != 0 {
+		t.Errorf("empty End = %d", s.End())
+	}
+	s.AddPulse(10, 10)
+	if s.End() != 20 {
+		t.Errorf("End = %d, want 20", s.End())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBitPeriodConstant(t *testing.T) {
+	// T = 1/60 GHz in femtoseconds, rounded: 16667.
+	if BitPeriodFs != 16667 {
+		t.Errorf("BitPeriodFs = %d", BitPeriodFs)
+	}
+}

@@ -1,0 +1,72 @@
+package packaging
+
+import "testing"
+
+func TestOneCabinetAt1K(t *testing.T) {
+	// Sec IV-G: the 1,024-node Baldur network fits in a single cabinet.
+	p := PlanFor(1024)
+	if p.Cabinets != 1 {
+		t.Errorf("cabinets @1K = %d, want 1", p.Cabinets)
+	}
+	if p.Multiplicity != 4 || p.Stages != 10 {
+		t.Errorf("config = m%d s%d", p.Multiplicity, p.Stages)
+	}
+	if p.WiresPerStage != 4096 {
+		t.Errorf("wires/stage = %d, want 4096", p.WiresPerStage)
+	}
+}
+
+func TestCabinetsAt1M(t *testing.T) {
+	// Sec IV-G: 752 cabinets at the 1M scale, fiber-pitch limited; only
+	// 176 if power were the sole constraint.
+	p := PlanFor(1 << 20)
+	if p.Cabinets < 700 || p.Cabinets > 800 {
+		t.Errorf("cabinets @1M = %d, paper reports 752", p.Cabinets)
+	}
+	if p.Cabinets != p.CabinetsByFiber {
+		t.Error("fiber pitch is not the binding constraint at 1M")
+	}
+	if p.CabinetsByPower >= p.CabinetsByFiber {
+		t.Errorf("power bound %d not looser than fiber bound %d",
+			p.CabinetsByPower, p.CabinetsByFiber)
+	}
+	if p.CabinetsByPower < 100 || p.CabinetsByPower > 250 {
+		t.Errorf("power-only cabinets = %d, paper reports 176", p.CabinetsByPower)
+	}
+}
+
+func TestGateAreaSmall(t *testing.T) {
+	// Sec IV-G: TL gates occupy <10% of interposer area at the 1K scale,
+	// leaving room for waveguides and passives.
+	p := PlanFor(1024)
+	if p.GateAreaFraction >= 0.10 {
+		t.Errorf("gate area fraction = %.3f, want < 0.10", p.GateAreaFraction)
+	}
+	if p.GateAreaFraction <= 0 {
+		t.Error("gate area fraction not computed")
+	}
+}
+
+func TestMonotoneWithScale(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1024, 4096, 65536, 1 << 18, 1 << 20} {
+		p := PlanFor(n)
+		if p.Interposers <= prev {
+			t.Errorf("interposers not increasing at %d nodes", n)
+		}
+		prev = p.Interposers
+		if p.Cabinets < p.CabinetsByFiber || p.Cabinets < p.CabinetsByPower {
+			t.Errorf("cabinets %d below a bound (fiber %d, power %d)",
+				p.Cabinets, p.CabinetsByFiber, p.CabinetsByPower)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

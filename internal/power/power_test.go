@@ -1,0 +1,185 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts a value lies within rel of want.
+func within(t *testing.T, name string, got, want, rel float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if diff := math.Abs(got-want) / math.Abs(want); diff > rel {
+		t.Errorf("%s = %.2f, want %.2f (+-%.0f%%), off by %.0f%%", name, got, want, rel*100, diff*100)
+	}
+}
+
+func TestMB1KAnchor(t *testing.T) {
+	// Sec II-A: a radix-2 multi-butterfly with multiplicity 4 consumes
+	// 223.5 W/node at 1,024 nodes, 41.7% of it in O-E/E-O and SerDes.
+	mb := ElectricalMB(1024)
+	within(t, "MB@1K total", mb.Total(), 223.5, 0.05)
+	share := (mb.Transceivers + mb.SerDes) / mb.Total()
+	within(t, "MB@1K O-E/E-O+SerDes share", share, 0.417, 0.05)
+}
+
+func TestFatTreeIsSixthOfMBAt1K(t *testing.T) {
+	// Sec II-A: the 1K multi-butterfly is ~6X the fat-tree's power.
+	ratio := ElectricalMB(1024).Total() / FatTree(1024).Total()
+	within(t, "MB/FT @1K", ratio, 6.0, 0.15)
+}
+
+func TestBaldurWinsEverywhere(t *testing.T) {
+	for _, row := range Fig8() {
+		b := row.Baldur.Total()
+		for name, v := range map[string]float64{
+			"mb": row.MB.Total(), "df": row.DF.Total(), "ft": row.FT.Total(),
+		} {
+			if v <= b {
+				t.Errorf("scale %d: %s (%.1f) <= baldur (%.1f)", row.Target, name, v, b)
+			}
+		}
+	}
+}
+
+func TestBaldur1KImprovementRange(t *testing.T) {
+	// Paper: 3.2X-26.4X power improvement at the 1K-2K scale. Our model
+	// gives 3.5X (dragonfly) to 30X (multi-butterfly): same band.
+	b := Baldur(1024).Total()
+	lo := Dragonfly(1024).Total() / b
+	hi := ElectricalMB(1024).Total() / b
+	if lo < 2.5 || lo > 4.5 {
+		t.Errorf("min improvement @1K = %.1fX, paper reports 3.2X", lo)
+	}
+	if hi < 20 || hi > 40 {
+		t.Errorf("max improvement @1K = %.1fX, paper reports 26.4X", hi)
+	}
+}
+
+func TestBaldur1MImprovementRange(t *testing.T) {
+	// Paper: 14.6X-31.0X at the 1M-1.4M scale.
+	b := Baldur(1 << 20).Total()
+	lo := Dragonfly(1<<20).Total() / b
+	if lo < 9 || lo > 20 {
+		t.Errorf("min improvement @1M = %.1fX, paper reports 14.6X", lo)
+	}
+	if hi := ElectricalMB(1<<20).Total() / b; hi < 25 {
+		t.Errorf("max improvement @1M = %.1fX, paper reports 31.0X", hi)
+	}
+}
+
+func TestScalingGrowthShape(t *testing.T) {
+	// Fig 8 growth factors from 1K to 1M: Baldur 1.7X, MB 2.0X,
+	// dragonfly 7.8X, fat-tree 9.0X. Assert the qualitative structure:
+	// Baldur nearly flat, MB modest, dragonfly and fat-tree blowing up.
+	g := func(f func(int) Breakdown) float64 { return f(1<<20).Total() / f(1024).Total() }
+	baldur := g(Baldur)
+	mb := g(ElectricalMB)
+	df := g(Dragonfly)
+	ft := g(FatTree)
+	if baldur > 2 {
+		t.Errorf("Baldur growth = %.2fX, want < 2 (paper: 1.7X)", baldur)
+	}
+	if baldur >= mb {
+		t.Errorf("Baldur growth %.2f >= MB growth %.2f", baldur, mb)
+	}
+	if df < 4 {
+		t.Errorf("dragonfly growth = %.2fX, want substantial (paper: 7.8X)", df)
+	}
+	if ft < 6 {
+		t.Errorf("fat-tree growth = %.2fX, want substantial (paper: 9.0X)", ft)
+	}
+	if ft <= df {
+		t.Errorf("fat-tree growth %.2f <= dragonfly growth %.2f, paper has fat-tree worse", ft, df)
+	}
+}
+
+func TestRadixGrowthMatchesPaper(t *testing.T) {
+	// Fig 8 discussion: dragonfly radix 16 -> 96, fat-tree 16 -> 160.
+	if r := Dragonfly(1024).Radix; r < 15 || r > 16 {
+		t.Errorf("dragonfly radix @1K = %d, want ~16", r)
+	}
+	if r := Dragonfly(1 << 20).Radix; r < 90 || r > 100 {
+		t.Errorf("dragonfly radix @1M = %d, want ~96", r)
+	}
+	if r := FatTree(1024).Radix; r != 16 {
+		t.Errorf("fat-tree radix @1K = %d, want 16", r)
+	}
+	if r := FatTree(1 << 20).Radix; r < 158 || r > 164 {
+		t.Errorf("fat-tree radix @1M = %d, want ~160", r)
+	}
+}
+
+func TestFatTree128KAnchor(t *testing.T) {
+	// Sec II-A: a 128K-node fat-tree (radix ~80) consumes ~6.4X more
+	// power per node than the 1K radix-16 fat-tree.
+	k, _ := FatTreeConfigFor(128 << 10)
+	if k < 78 || k > 84 {
+		t.Errorf("fat-tree radix for 128K = %d, want ~80", k)
+	}
+	ratio := FatTree(128<<10).Total() / FatTree(1024).Total()
+	within(t, "FT 128K/1K", ratio, 6.4, 0.35)
+}
+
+func TestFig9PessimisticStillWins(t *testing.T) {
+	// Fig 9: halving electrical switch power and doubling TL power still
+	// leaves Baldur ahead of everything (paper: 5.1X, 8.2X, 14.7X).
+	for _, row := range Fig9() {
+		if row.Baldur >= row.DF || row.Baldur >= row.FT || row.Baldur >= row.MB {
+			t.Errorf("case %s: baldur %.1f not the lowest (df %.1f ft %.1f mb %.1f)",
+				row.Case.Name, row.Baldur, row.DF, row.FT, row.MB)
+		}
+	}
+	pess := Fig9()[1]
+	if r := pess.DF / pess.Baldur; r < 3 {
+		t.Errorf("pessimistic df/baldur = %.1fX, paper reports 5.1X", r)
+	}
+}
+
+func TestBreakdownPlumbing(t *testing.T) {
+	b := Breakdown{Transceivers: 1, SerDes: 2, RetxBuffers: 3, SwitchPower: 4}
+	if b.Total() != 10 {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if s := b.Scaled(2); s.SwitchPower != 8 || s.Total() != 14 {
+		t.Errorf("Scaled = %+v", s)
+	}
+	if b.SwitchPower != 4 {
+		t.Error("Scaled mutated the receiver")
+	}
+	if b.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDragonflyConfigFor(t *testing.T) {
+	p, nodes, radix := DragonflyConfigFor(1024)
+	if p != 4 || nodes != 1056 || radix != 15 {
+		t.Errorf("DragonflyConfigFor(1024) = %d,%d,%d", p, nodes, radix)
+	}
+	_, nodes1M, _ := DragonflyConfigFor(1 << 20)
+	if nodes1M < 1<<20 || nodes1M > 1<<21 {
+		t.Errorf("1M config nodes = %d", nodes1M)
+	}
+}
+
+func TestBaldurBreakdownComponents(t *testing.T) {
+	b := Baldur(1024)
+	if b.RetxBuffers != RetxBufferW {
+		t.Errorf("retx = %v", b.RetxBuffers)
+	}
+	// Switch power: 5,120 switches x 1,112 gates x 0.406 mW / 1,024.
+	want := 5120.0 * 1112 * 0.406e-3 / 1024
+	within(t, "baldur switch W/node", b.SwitchPower, want, 0.001)
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{1: 4, 4: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

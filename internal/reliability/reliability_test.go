@@ -1,0 +1,133 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"baldur/internal/topo"
+)
+
+func TestErrorProbabilityPaperRegime(t *testing.T) {
+	// tol = 0.42T, sigma = sqrt(1.53) ps: the exceedance probability must
+	// be in the 1e-9..1e-7 decade the paper's "1e-9" claim lives in.
+	p := ErrorProbability(0.42, math.Sqrt(JitterVariancePS2))
+	if p > 1e-7 || p < 1e-9 {
+		t.Errorf("error probability = %.3g, want within [1e-9, 1e-7]", p)
+	}
+}
+
+func TestErrorProbabilityMonotone(t *testing.T) {
+	// Larger margins and smaller jitter must both reduce the error rate.
+	if ErrorProbability(0.5, 1.2) >= ErrorProbability(0.4, 1.2) {
+		t.Error("probability not decreasing in tolerance")
+	}
+	if ErrorProbability(0.42, 1.0) >= ErrorProbability(0.42, 1.5) {
+		t.Error("probability not increasing in jitter")
+	}
+}
+
+func TestPaperErrorBudget(t *testing.T) {
+	single := ErrorProbability(0.42, 1.237)
+	if got := PaperErrorBudget(0.42, 1.237); math.Abs(got-4*single) > 1e-15 {
+		t.Errorf("budget = %v, want 4x single", got)
+	}
+}
+
+func TestMonteCarloCleanAtPaperJitter(t *testing.T) {
+	// The paper's variance of 1.53 ps² describes the *bit-length* change;
+	// a pulse width is the difference of two independently jittered
+	// edges, so the per-edge sigma is 1.237/sqrt(2) = 0.875 ps. At that
+	// level our decoder's ~0.48T margin is 6.5+ sigma: a million-bit
+	// Monte Carlo must see zero errors.
+	errors, bits := MonteCarloDecode(125_000, 8, 1.237/math.Sqrt2, 1)
+	if bits != 1_000_000 {
+		t.Fatalf("bits = %d", bits)
+	}
+	if errors != 0 {
+		t.Errorf("errors = %d at paper jitter; margin analysis predicts ~4e-11/bit", errors)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticTail(t *testing.T) {
+	// At a jitter level where errors are observable (per-edge sigma 2.4
+	// ps -> width sigma 3.4 ps, margin ~2.4 sigma -> ~8e-3/bit
+	// two-sided), the empirical rate must agree with the Gaussian-tail
+	// model within a factor of ~3 (the two nominal widths have slightly
+	// different margins, so exact agreement is not expected).
+	const edgeSigma = 2.4
+	errors, bits := MonteCarloDecode(50_000, 8, edgeSigma, 5)
+	got := float64(errors) / float64(bits)
+	widthSigma := edgeSigma * math.Sqrt2
+	// Average the two margins: 8.65 ps ("1") and 8.02 ps ("0").
+	want := qFunction(8.65/widthSigma) + qFunction(8.02/widthSigma)
+	want /= 2
+	if got < want/3 || got > want*3 {
+		t.Errorf("empirical error rate %.3g vs analytic %.3g: disagreement > 3x", got, want)
+	}
+}
+
+func TestMonteCarloFailsAtExtremeJitter(t *testing.T) {
+	// At sigma = 4 ps (margin ~2 sigma) errors must appear, validating
+	// that the Monte Carlo actually exercises the failure path.
+	errors, bits := MonteCarloDecode(20_000, 8, 4.0, 2)
+	if errors == 0 {
+		t.Errorf("no errors in %d bits at 4 ps jitter; harness broken", bits)
+	}
+}
+
+func TestDiagnoseFindsFault(t *testing.T) {
+	mb, err := topo.NewMultiButterfly(64, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fault := range []FaultySwitch{
+		{Stage: 0, Switch: 5},
+		{Stage: 3, Switch: 17},
+		{Stage: 5, Switch: 31},
+	} {
+		oracle := SimulateFault(mb, 1, fault)
+		got, err := Diagnose(mb, 1, oracle)
+		if err != nil {
+			t.Fatalf("fault %+v: %v", fault, err)
+		}
+		if got != fault {
+			t.Errorf("diagnosed %+v, want %+v", got, fault)
+		}
+	}
+}
+
+func TestDiagnoseEachPathMode(t *testing.T) {
+	// Diagnosis must work whichever single path the switches are forced
+	// to (the test harness can select any of the m).
+	mb, err := topo.NewMultiButterfly(32, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := FaultySwitch{Stage: 2, Switch: 9}
+	for path := 0; path < mb.M; path++ {
+		oracle := SimulateFault(mb, path, fault)
+		got, err := Diagnose(mb, path, oracle)
+		if err != nil {
+			t.Fatalf("path %d: %v", path, err)
+		}
+		if got != fault {
+			t.Errorf("path %d: diagnosed %+v, want %+v", path, got, fault)
+		}
+	}
+}
+
+func TestDiagnoseRejectsBadPath(t *testing.T) {
+	mb, _ := topo.NewMultiButterfly(16, 2, 0)
+	if _, err := Diagnose(mb, 5, func(int, int) bool { return false }); err == nil {
+		t.Error("out-of-range path accepted")
+	}
+}
+
+func TestQFunctionSanity(t *testing.T) {
+	if q := qFunction(0); math.Abs(q-0.5) > 1e-12 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	if q := qFunction(6); q > 1.1e-9 || q < 0.9e-9 {
+		t.Errorf("Q(6) = %.3g, want ~1e-9", q)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+// Engine is a deterministic discrete-event simulator. Events are closures
+// scheduled at absolute virtual times; ties are broken by scheduling order so
+// that a run is a pure function of its inputs and RNG seeds.
+//
+// The zero value is not ready to use; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   eventHeap
+	halted bool
+
+	// Executed counts events dispatched since construction; useful for
+	// reporting simulator throughput in benchmarks.
+	Executed uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for equal times
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release closure for GC
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && h.less(right, left) {
+			small = right
+		}
+		if !h.less(small, i) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{heap: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug and silently clamping would corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past: " + t.String() + " < " + e.now.String())
+	}
+	e.seq++
+	e.heap.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay " + d.String())
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run dispatches events until the queue drains or Halt is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.heap.pop()
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to exactly the deadline. It returns
+// true if the queue still holds events (i.e. the simulation was cut short).
+func (e *Engine) RunUntil(deadline Time) bool {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
+		if e.heap[0].at > deadline {
+			e.now = deadline
+			return true
+		}
+		ev := e.heap.pop()
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return len(e.heap) > 0
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v, want 30ps", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("dispatch order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events dispatched out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var recurse func()
+	recurse = func() {
+		fired++
+		if fired < 10 {
+			e.After(7, recurse)
+		}
+	}
+	e.At(0, recurse)
+	end := e.Run()
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	if end != 63 {
+		t.Errorf("end = %v, want 63ps", end)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 5 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5 (halt ignored)", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*10), func() { count++ })
+	}
+	more := e.RunUntil(55)
+	if !more {
+		t.Error("RunUntil reported drained queue with events left")
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 55 {
+		t.Errorf("now = %v, want 55ps", e.Now())
+	}
+	more = e.RunUntil(1000)
+	if more {
+		t.Error("RunUntil reported pending events after drain")
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("now = %v, want clock advanced to deadline", e.Now())
+	}
+}
+
+func TestEngineMonotoneDispatchProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineExecutedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 42; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed != 42 {
+		t.Errorf("Executed = %d, want 42", e.Executed)
+	}
+}
+
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	rng := NewRNG(1)
+	b.ReportAllocs()
+	var fn func()
+	n := 0
+	fn = func() {
+		if n < b.N {
+			n++
+			e.After(Duration(rng.Intn(1000)+1), fn)
+		}
+	}
+	// Keep 1000 events in flight, a realistic queue depth.
+	for i := 0; i < 1000 && n < b.N; i++ {
+		n++
+		e.At(Time(rng.Intn(1000)), fn)
+	}
+	b.ResetTimer()
+	e.Run()
+}

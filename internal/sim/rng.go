@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast, deterministic random-number generator
+// (splitmix64-seeded xoshiro256**). Every stochastic component of a model
+// owns its own RNG stream, derived from the experiment seed and a component
+// label, so adding a component never perturbs the draws seen by another.
+type RNG struct {
+	s [4]uint64
+	// spare holds a cached second normal variate from the Box-Muller pair.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, which maps even
+// adjacent seeds to well-separated states.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Fork derives an independent stream labelled by id. Streams forked with
+// distinct ids from the same parent are statistically independent.
+func (r *RNG) Fork(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's unbiased bounded generation.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, rounded to the nearest picosecond.
+func (r *RNG) ExpDuration(mean Duration) Duration {
+	return Duration(r.Exp(float64(mean)) + 0.5)
+}
+
+// Normal returns a normally distributed value with mean mu and standard
+// deviation sigma, using the Box-Muller transform.
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mu + sigma*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	factor := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * factor
+	r.hasSpare = true
+	return mu + sigma*u*factor
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	r.Shuffle(out)
+}
+
+// Shuffle permutes s uniformly at random in place (Fisher-Yates).
+func (r *RNG) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

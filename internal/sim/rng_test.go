@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	var orAll uint64
+	for i := 0; i < 10; i++ {
+		orAll |= r.Uint64()
+	}
+	if orAll == 0 {
+		t.Error("zero seed produced all-zero outputs")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Fork(1)
+	b := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("forked streams produced %d identical draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 7)
+	const draws = 70000
+	for i := 0; i < draws; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		// Expect 10000 +- generous 5% band.
+		if c < 9500 || c > 10500 {
+			t.Errorf("bucket %d has %d draws, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(42)
+	}
+	if mean := sum / n; math.Abs(mean-42) > 1 {
+		t.Errorf("exponential mean = %v, want ~42", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-9) > 0.2 {
+		t.Errorf("normal variance = %v, want ~9", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	out := make([]int, 257)
+	r.Perm(out)
+	seen := make([]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: saw %d twice or out of range", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// Chi-square style sanity check on 3-element shuffles: all 6 orders
+	// should occur roughly equally.
+	r := NewRNG(17)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		s := []int{0, 1, 2}
+		r.Shuffle(s)
+		counts[[3]int{s[0], s[1], s[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct orders, want 6", len(counts))
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("order %v occurred %d times, want ~10000", k, c)
+		}
+	}
+}
+
+func TestExpDurationPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpDuration(1000); d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+	}
+}

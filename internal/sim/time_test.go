@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+func TestDurationUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Errorf("Nanosecond = %d ps", Nanosecond)
+	}
+	if Second != 1e12 {
+		t.Errorf("Second = %d ps", Second)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50 * Nanosecond)
+	if t1 != 50100 {
+		t.Errorf("Add = %d, want 50100", t1)
+	}
+	if d := t1.Sub(t0); d != 50*Nanosecond {
+		t.Errorf("Sub = %v, want 50ns", d)
+	}
+}
+
+func TestDurationConstructors(t *testing.T) {
+	if d := Nanoseconds(1.5); d != 1500 {
+		t.Errorf("Nanoseconds(1.5) = %d ps, want 1500", d)
+	}
+	if d := Microseconds(2); d != 2_000_000 {
+		t.Errorf("Microseconds(2) = %d ps", d)
+	}
+	if d := Picoseconds(7); d != 7 {
+		t.Errorf("Picoseconds(7) = %d", d)
+	}
+}
+
+func TestDurationScale(t *testing.T) {
+	d := 100 * Nanosecond
+	if got := d.Scale(0.5); got != 50*Nanosecond {
+		t.Errorf("Scale(0.5) = %v", got)
+	}
+	if got := d.Scale(2); got != 200*Nanosecond {
+		t.Errorf("Scale(2) = %v", got)
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	// 512 bytes at 25 Gbps: 4096 bits / 25e9 = 163.84 ns, the paper's
+	// packet serialization time.
+	got := SerializationTime(512, 25e9)
+	want := Duration(163840)
+	if got != want {
+		t.Errorf("SerializationTime = %v ps, want %v ps", int64(got), int64(want))
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.5ns"},
+		{163840, "164us"[0:0] + "164ns"}, // 163.84ns rounds to 164ns at 3 sig figs
+		{2_500_000, "2.5us"},
+		{3_000_000_000, "3ms"},
+		{4_000_000_000_000, "4s"},
+		{-500, "-500ps"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Nanoseconds() != 1500 {
+		t.Errorf("Nanoseconds() = %v", d.Nanoseconds())
+	}
+	if d.Microseconds() != 1.5 {
+		t.Errorf("Microseconds() = %v", d.Microseconds())
+	}
+	tm := Time(2500)
+	if tm.Picoseconds() != 2500 {
+		t.Errorf("Picoseconds() = %v", tm.Picoseconds())
+	}
+	if tm.Nanoseconds() != 2.5 {
+		t.Errorf("Nanoseconds() = %v", tm.Nanoseconds())
+	}
+}

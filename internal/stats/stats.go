@@ -1,0 +1,206 @@
+// Package stats provides the streaming statistics used to summarize
+// simulation results: running mean/variance, log-bucketed latency histograms
+// with percentile queries, and geometric means for cross-workload summaries
+// (the paper reports Geomean speedups in Fig 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance online (Welford's method),
+// plus min/max. The zero value is ready to use.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance, or 0 with <2 observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (r *Running) Max() float64 { return r.max }
+
+// Histogram is a logarithmically bucketed histogram of non-negative values.
+// Buckets grow geometrically so that percentile queries stay within a fixed
+// relative error (~2.4% with the default 30 buckets/octave) across the nine
+// decades spanned by network latencies (ns..ms). The zero value is ready.
+type Histogram struct {
+	buckets map[int]int64
+	run     Running
+}
+
+// bucketsPerOctave controls the relative resolution of the histogram.
+const bucketsPerOctave = 30
+
+func bucketOf(x float64) int {
+	if x <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log2(x) * bucketsPerOctave))
+}
+
+func bucketLow(b int) float64 {
+	return math.Exp2(float64(b) / bucketsPerOctave)
+}
+
+// Add records one observation. Negative values are clamped to zero.
+func (h *Histogram) Add(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.buckets[bucketOf(x)]++
+	h.run.Add(x)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.run.N() }
+
+// Mean returns the exact arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 { return h.run.Mean() }
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() float64 { return h.run.Max() }
+
+// Min returns the exact minimum observation.
+func (h *Histogram) Min() float64 { return h.run.Min() }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1). With no
+// observations it returns 0. The estimate uses the geometric midpoint of the
+// containing bucket, giving bounded relative error.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.run.N()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.run.Min()
+	}
+	if q >= 1 {
+		return h.run.Max()
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	// rank is 1-based: the ceil(q*n)-th smallest observation.
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= rank {
+			if k == math.MinInt32 {
+				return 0
+			}
+			lo := bucketLow(k)
+			hi := bucketLow(k + 1)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return h.run.Max()
+}
+
+// P99 returns the 99th-percentile estimate (the paper's "tail latency").
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.buckets == nil {
+		return
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	for k, c := range other.buckets {
+		h.buckets[k] += c
+	}
+	// Merge the running moments using Chan et al.'s parallel update.
+	a, b := h.run, other.run
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		h.run = b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	mn, mx := a.min, a.max
+	if b.min < mn {
+		mn = b.min
+	}
+	if b.max > mx {
+		mx = b.max
+	}
+	h.run = Running{n: n, mean: mean, m2: m2, min: mn, max: mx}
+}
+
+// String summarizes the histogram for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		h.N(), h.Mean(), h.Quantile(0.5), h.P99(), h.Max())
+}
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries
+// (which would otherwise poison the logarithm). Returns 0 for no valid input.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

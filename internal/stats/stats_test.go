@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := r.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 {
+		t.Error("zero value not neutral")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 500.5", got)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100000; i++ {
+		h.Add(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := q * 100000
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Add(42)
+	if got := h.Quantile(0); got != 42 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := h.Quantile(1); got != 42 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-42)/42 > 0.03 {
+		t.Errorf("single-value Quantile(0.5) = %v, want ~42", got)
+	}
+}
+
+func TestHistogramZeroValues(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Add(0)
+	}
+	h.Add(100)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median of mostly-zero = %v, want 0", got)
+	}
+	if h.N() != 11 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Min() != 0 {
+		t.Errorf("negative value not clamped: min=%v", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+		whole.Add(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Add(float64(i))
+		whole.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got, want := a.Quantile(0.5), whole.Quantile(0.5); got != want {
+		t.Errorf("merged median = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Errorf("merge into empty: n=%d mean=%v", a.N(), a.Mean())
+	}
+	a.Merge(nil) // must not panic
+	var c Histogram
+	a.Merge(&c) // merging empty is a no-op
+	if a.N() != 2 {
+		t.Errorf("merge of empty changed n=%d", a.N())
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(values []float64, q1, q2 float64) bool {
+		var h Histogram
+		for _, v := range values {
+			h.Add(math.Abs(v))
+		}
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return h.Quantile(q1) <= h.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 8}); math.Abs(got-2.8284271) > 1e-6 {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean([]float64{4, 4, 4}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v", got)
+	}
+	// Non-positive entries are ignored, not fatal.
+	if got := Geomean([]float64{0, -1, 9}); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Geomean with junk = %v, want 9", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	if s := h.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,158 @@
+package switchckt
+
+import (
+	"fmt"
+
+	"baldur/internal/gatesim"
+	"baldur/internal/optsig"
+	"baldur/internal/tl"
+)
+
+// MultiSwitch is the gate-level 2x2 switch with path multiplicity m
+// (Sec IV-E): 2m input ports and 2m output ports (m per output direction).
+// Each input has its own header-processing unit; each output path has its
+// own arbiter over all 2m inputs; and availability is checked sequentially
+// across the m paths of a direction — an input that loses path p re-raises
+// its request at path p+1 after a cascade settle delay, which is why the
+// switch latency of Table V grows with multiplicity.
+type MultiSwitch struct {
+	Circuit *gatesim.Circuit
+	M       int
+	In      []gatesim.Node // 2m inputs
+	// Out[d][p] is output path p of direction d.
+	Out [2][]gatesim.Node
+	// Header[i] is input i's header unit.
+	Header []HeaderUnit
+	// Grant[i][d][p] is input i's grant for output (d,p).
+	Grant [][2][]gatesim.Node
+}
+
+// cascadeSettle returns the per-path settle delay of the sequential
+// availability check, sized so the total arbitration time tracks the
+// Table V switch latency for the multiplicity.
+func cascadeSettle(m int) Fs {
+	if m <= 1 {
+		return 0
+	}
+	total := Fs(tl.SwitchLatencyNS(m)*1e6) - FabricDelay // fs beyond the m=1 fabric
+	if total < 0 {
+		total = 0
+	}
+	return total * 8 / (10 * Fs(m-1)) // 80% of the budget, spread per step
+}
+
+// fabricDelayM returns the WD waveguide length for multiplicity m: the
+// Table V latency minus a few gate delays, so arbitration (including the
+// full cascade) always settles before data reaches the output ANDs.
+func fabricDelayM(m int) Fs {
+	if m <= 1 {
+		return FabricDelay
+	}
+	return Fs(tl.SwitchLatencyNS(m)*1e6) - 6*gatesim.GateDelayFs
+}
+
+// BuildM instantiates the multiplicity-m switch netlist. BuildM(cfg, 1) is
+// structurally equivalent to Build(cfg) with per-path wiring.
+func BuildM(cfg gatesim.Config, m int) (*MultiSwitch, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("switchckt: multiplicity %d", m)
+	}
+	c := gatesim.New(cfg)
+	s := &MultiSwitch{Circuit: c, M: m}
+	nIn := 2 * m
+	s.In = make([]gatesim.Node, nIn)
+	s.Header = make([]HeaderUnit, nIn)
+	s.Grant = make([][2][]gatesim.Node, nIn)
+	for i := range s.In {
+		s.In[i] = c.NewNode(fmt.Sprintf("in%d", i))
+	}
+	settle := cascadeSettle(m)
+	wd := fabricDelayM(m)
+	// The valid/routing latches hold past end-of-packet so the grants
+	// cover the tail's transit through the long fabric waveguide.
+	holdExt := wd - 6*T
+	if holdExt < 0 {
+		holdExt = 0
+	}
+	for i := range s.In {
+		s.Header[i] = buildHeaderExt(c, s.In[i], i, holdExt)
+		s.Grant[i] = [2][]gatesim.Node{
+			make([]gatesim.Node, m),
+			make([]gatesim.Node, m),
+		}
+	}
+
+	// Request cascades: per direction d, path p, the request of input i is
+	//   p == 0: the base direction request;
+	//   p  > 0: "lost at p-1" = request still up, settle time elapsed,
+	//           no grant at p-1.
+	reqs := make([][2][]gatesim.Node, nIn) // [i][d][p]
+	for i := 0; i < nIn; i++ {
+		for d := 0; d < 2; d++ {
+			reqs[i][d] = make([]gatesim.Node, m)
+			reqs[i][d][0] = s.Header[i].ReqOut[d]
+		}
+	}
+	// Arbiters path by path so grants exist before the next cascade level
+	// references them.
+	for d := 0; d < 2; d++ {
+		for p := 0; p < m; p++ {
+			ports := make([]gatesim.Node, nIn)
+			for i := 0; i < nIn; i++ {
+				ports[i] = reqs[i][d][p]
+			}
+			arb := c.NewArbiterN(ports, fmt.Sprintf("arb.d%dp%d", d, p))
+			for i := 0; i < nIn; i++ {
+				s.Grant[i][d][p] = arb.Grants[i]
+			}
+			if p+1 < m {
+				for i := 0; i < nIn; i++ {
+					delayed := c.Delay(reqs[i][d][p], settle,
+						fmt.Sprintf("casc.i%dd%dp%d", i, d, p))
+					reqs[i][d][p+1] = c.AndNot(delayed, s.Grant[i][d][p],
+						fmt.Sprintf("lost.i%dd%dp%d", i, d, p))
+				}
+			}
+		}
+	}
+
+	// Fabric: mask, delay, grant-gated ANDs into per-path combiners.
+	wdNodes := make([]gatesim.Node, nIn)
+	for i := 0; i < nIn; i++ {
+		masked := c.And(s.In[i], s.Header[i].MaskOff.Q, fmt.Sprintf("fabric.mask%d", i))
+		wdNodes[i] = c.Delay(masked, wd, fmt.Sprintf("fabric.wd%d", i))
+	}
+	// Grants gate the outputs directly: their rise beats the data head
+	// through the waveguide, and their fall is covered by the extended
+	// latch hold above.
+	for d := 0; d < 2; d++ {
+		s.Out[d] = make([]gatesim.Node, m)
+		for p := 0; p < m; p++ {
+			legs := make([]gatesim.Node, nIn)
+			for i := 0; i < nIn; i++ {
+				legs[i] = c.And(wdNodes[i], s.Grant[i][d][p], fmt.Sprintf("fabric.and.i%dd%dp%d", i, d, p))
+			}
+			s.Out[d][p] = c.Combine(fmt.Sprintf("out.d%dp%d", d, p), legs...)
+		}
+	}
+	return s, nil
+}
+
+// GateCount returns the number of active TL gates in the netlist.
+func (s *MultiSwitch) GateCount() int { return s.Circuit.GateCount() }
+
+// Run advances the circuit to the given time.
+func (s *MultiSwitch) Run(until Fs) { s.Circuit.Run(until) }
+
+// OutputSignals probes every output and returns [d][p] waveforms; call
+// before playing inputs.
+func (s *MultiSwitch) OutputSignals() [2][]*optsig.Signal {
+	var out [2][]*optsig.Signal
+	for d := 0; d < 2; d++ {
+		out[d] = make([]*optsig.Signal, s.M)
+		for p := 0; p < s.M; p++ {
+			out[d][p] = s.Circuit.Probe(s.Out[d][p])
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package switchckt
+
+import (
+	"testing"
+
+	"baldur/internal/encoding"
+	"baldur/internal/gatesim"
+)
+
+func TestMultiSwitchRejectsBadM(t *testing.T) {
+	if _, err := BuildM(gatesim.Config{}, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestMultiSwitchSinglePacket(t *testing.T) {
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	pkt, end := makePacket(10*T, []bool{false, true}, []byte{0x42})
+	s.Circuit.PlaySignal(s.In[0], pkt)
+	s.Run(end + 200*T)
+	if outs[0][0].NumEdges() == 0 {
+		t.Error("packet did not reach direction 0 path 0")
+	}
+	for p := 0; p < 2; p++ {
+		if outs[1][p].NumEdges() != 0 {
+			t.Errorf("light leaked to direction 1 path %d", p)
+		}
+	}
+	if outs[0][1].NumEdges() != 0 {
+		t.Error("single packet occupied the second path")
+	}
+}
+
+func TestMultiSwitchParallelDelivery(t *testing.T) {
+	// Two simultaneous packets to the same direction with m=2: the second
+	// loses path 0 arbitration and must fall through to path 1 — the
+	// sequential availability check of Sec IV-E.
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	pa, _ := makePacket(0, []bool{false}, []byte{0xAA})
+	pb, endB := makePacket(0, []bool{false}, []byte{0xBB})
+	s.Circuit.PlaySignal(s.In[0], pa)
+	s.Circuit.PlaySignal(s.In[1], pb)
+	s.Run(endB + 400*T)
+	if outs[0][0].NumEdges() == 0 {
+		t.Error("winner missing on path 0")
+	}
+	if outs[0][1].NumEdges() == 0 {
+		t.Error("loser did not fall through to path 1")
+	}
+}
+
+func TestMultiSwitchDropsWhenAllPathsBusy(t *testing.T) {
+	// Three packets to the same direction with m=2: exactly one must be
+	// dropped (its light never appears at any output).
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	for i := 0; i < 3; i++ {
+		pkt, _ := makePacket(0, []bool{false}, []byte{byte(0x10 * (i + 1))})
+		s.Circuit.PlaySignal(s.In[i], pkt)
+	}
+	s.Run(1000 * T)
+	delivered := 0
+	for p := 0; p < 2; p++ {
+		if outs[0][p].NumEdges() > 0 {
+			delivered++
+		}
+	}
+	if delivered != 2 {
+		t.Errorf("delivered on %d paths, want 2 (one drop)", delivered)
+	}
+	// And nothing leaked to direction 1.
+	for p := 0; p < 2; p++ {
+		if outs[1][p].NumEdges() != 0 {
+			t.Errorf("leak to direction 1 path %d", p)
+		}
+	}
+}
+
+func TestMultiSwitchAllInputsUsable(t *testing.T) {
+	// With m=2 there are 4 inputs; a packet from the highest input index
+	// must route fine.
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	pkt, end := makePacket(0, []bool{true}, []byte{0x7E})
+	s.Circuit.PlaySignal(s.In[3], pkt)
+	s.Run(end + 400*T)
+	if outs[1][0].NumEdges() == 0 {
+		t.Error("packet from input 3 not delivered to direction 1")
+	}
+}
+
+func TestMultiSwitchPayloadIntactOnFallbackPath(t *testing.T) {
+	// The loser's payload must come through path 1 unmodified (widths
+	// preserved, first routing bit masked).
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	pa, _ := makePacket(0, []bool{false}, []byte{0xAA})
+	pb, endB := makePacket(0, []bool{false, true}, []byte{0xBB, 0xCC})
+	s.Circuit.PlaySignal(s.In[0], pa)
+	s.Circuit.PlaySignal(s.In[1], pb)
+	s.Run(endB + 400*T)
+
+	inPulses := pb.Pulses()[1:] // first routing bit masked
+	outPulses := outs[0][1].Pulses()
+	if len(outPulses) != len(inPulses) {
+		t.Fatalf("fallback path pulses = %d, want %d", len(outPulses), len(inPulses))
+	}
+	for i := range inPulses {
+		if outPulses[i].Width() != inPulses[i].Width() {
+			t.Errorf("pulse %d width %d != %d", i, outPulses[i].Width(), inPulses[i].Width())
+		}
+	}
+	// The masked routing bits still decode at the next stage.
+	bits, err := encoding.DecodeRoutingBits(outs[0][1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits[0] != true {
+		t.Error("fallback path corrupted the second routing bit")
+	}
+}
+
+func TestMultiSwitchLatencyTracksTable5(t *testing.T) {
+	// The data path delay (WD) is sized from Table V: measure it for
+	// m = 2 and 4.
+	for _, m := range []int{2, 4} {
+		s, err := BuildM(gatesim.Config{}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := s.OutputSignals()
+		pkt, end := makePacket(0, []bool{false}, []byte{0x42})
+		s.Circuit.PlaySignal(s.In[0], pkt)
+		s.Run(end + 1000*T)
+		if outs[0][0].NumEdges() == 0 {
+			t.Fatalf("m=%d: no output", m)
+		}
+		latencyNS := float64(outs[0][0].Pulses()[0].Start-3*T) / 1e6
+		want := map[int]float64{2: 0.49, 4: 1.5}[m]
+		if latencyNS < want*0.8 || latencyNS > want*1.2 {
+			t.Errorf("m=%d latency = %.3f ns, want ~%.2f (Table V)", m, latencyNS, want)
+		}
+	}
+}
+
+func TestMultiSwitchGateCountGrowsSuperlinearly(t *testing.T) {
+	counts := map[int]int{}
+	for _, m := range []int{1, 2, 4} {
+		s, err := BuildM(gatesim.Config{}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m] = s.GateCount()
+	}
+	// Table V: 64 -> 300 -> 1112 (x4.7, x3.7). Our netlist must show the
+	// same superlinear growth even if absolute counts differ.
+	if r := float64(counts[2]) / float64(counts[1]); r < 2 {
+		t.Errorf("gate growth m1->m2 = %.1fx, want > 2x", r)
+	}
+	if r := float64(counts[4]) / float64(counts[2]); r < 2 {
+		t.Errorf("gate growth m2->m4 = %.1fx, want > 2x", r)
+	}
+	t.Logf("gate counts: m=1:%d m=2:%d m=4:%d (paper: 64/300/1112)",
+		counts[1], counts[2], counts[4])
+}
+
+func TestMultiSwitchSequentialPacketsReusePath(t *testing.T) {
+	// After the first packet fully drains (including the 6T window), a
+	// later packet from another input gets path 0 again.
+	s, err := BuildM(gatesim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := s.OutputSignals()
+	pa, endA := makePacket(0, []bool{false}, []byte{0xAA})
+	pb, endB := makePacket(endA+40*T, []bool{false}, []byte{0xBB})
+	s.Circuit.PlaySignal(s.In[0], pa)
+	s.Circuit.PlaySignal(s.In[2], pb)
+	s.Run(endB + 400*T)
+	p0 := outs[0][0].Pulses()
+	if len(p0) != len(pa.Pulses())-1+len(pb.Pulses())-1 {
+		t.Errorf("path 0 pulses = %d, want both packets (%d)",
+			len(p0), len(pa.Pulses())-1+len(pb.Pulses())-1)
+	}
+	if outs[0][1].NumEdges() != 0 {
+		t.Error("path 1 used though path 0 was free")
+	}
+}

@@ -1,0 +1,158 @@
+package tl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable4Values(t *testing.T) {
+	g := Table4()
+	if g.AreaUM2 != 25 || g.RiseFallPS != 7.3 || g.DelayPS != 1.93 ||
+		g.PowerW != 0.406e-3 || g.DataRateGbps != 60 {
+		t.Errorf("Table4 = %+v does not match the paper", g)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	// The paper quotes 6.77 fJ/bit for a TL gate at 60 Gbps.
+	got := Table4().EnergyPerBitJ()
+	want := 6.77e-15
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("energy/bit = %.3g J, want ~%.3g J", got, want)
+	}
+}
+
+func TestBitPeriod(t *testing.T) {
+	got := Table4().BitPeriodPS()
+	if math.Abs(got-16.6667) > 0.001 {
+		t.Errorf("T = %v ps, want 16.667 ps", got)
+	}
+}
+
+func TestLatchPower(t *testing.T) {
+	g := Table4()
+	if got := g.LatchPowerW(); got != 2*g.PowerW {
+		t.Errorf("latch power = %v, want double the gate power", got)
+	}
+}
+
+func TestGatesPerSwitchTable5(t *testing.T) {
+	want := map[int]int{1: 64, 2: 300, 3: 642, 4: 1112, 5: 1710}
+	for m, w := range want {
+		if got := GatesPerSwitch(m); got != w {
+			t.Errorf("GatesPerSwitch(%d) = %d, want %d", m, got, w)
+		}
+	}
+}
+
+func TestGatesClosedFormMatchesTable(t *testing.T) {
+	// The fitted closed form must reproduce the published points for
+	// m=2..5 exactly, so extrapolation beyond the table is anchored.
+	for m := 2; m <= 5; m++ {
+		if got, want := 64*m*m+22*m, GatesPerSwitch(m); got != want {
+			t.Errorf("closed form at m=%d gives %d, table %d", m, got, want)
+		}
+	}
+	if got := GatesPerSwitch(6); got != 64*36+22*6 {
+		t.Errorf("GatesPerSwitch(6) = %d", got)
+	}
+}
+
+func TestSwitchLatencyTable5(t *testing.T) {
+	want := map[int]float64{1: 0.14, 2: 0.49, 3: 0.94, 4: 1.5, 5: 2.25}
+	for m, w := range want {
+		if got := SwitchLatencyNS(m); got != w {
+			t.Errorf("SwitchLatencyNS(%d) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestSwitchLatencyExtrapolationContinuity(t *testing.T) {
+	// The fit should continue smoothly from the table: latency(6) must
+	// exceed latency(5) but by less than 2x the (5)-(4) step's double.
+	l5, l6 := SwitchLatencyNS(5), SwitchLatencyNS(6)
+	if l6 <= l5 {
+		t.Errorf("latency not increasing: l5=%v l6=%v", l5, l6)
+	}
+	if l6 > 2*l5 {
+		t.Errorf("latency jump too large: l5=%v l6=%v", l5, l6)
+	}
+}
+
+func TestSwitchPower(t *testing.T) {
+	// m=4 switch: 1112 gates x 0.406 mW = 451.5 mW.
+	got := SwitchPowerW(4)
+	want := 1112 * 0.406e-3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SwitchPowerW(4) = %v, want %v", got, want)
+	}
+}
+
+func TestSwitchPowerVsElectrical(t *testing.T) {
+	// Sec IV headline: the m=4 TL switch consumes 96.6X less power than a
+	// 2x2 electrical switch. The electrical reference is therefore about
+	// 43.6 W; we only check our switch is under half a watt, which is the
+	// property all system-level results rest on.
+	if p := SwitchPowerW(4); p > 0.5 {
+		t.Errorf("m=4 switch power = %v W, expected < 0.5 W", p)
+	}
+}
+
+func TestPaperDropRate(t *testing.T) {
+	if got := PaperDropRatePct(4); got != 0.3 {
+		t.Errorf("PaperDropRatePct(4) = %v", got)
+	}
+	if got := PaperDropRatePct(6); got != -1 {
+		t.Errorf("PaperDropRatePct(6) = %v, want -1", got)
+	}
+}
+
+func TestRequiredMultiplicity(t *testing.T) {
+	cases := []struct{ nodes, want int }{
+		{32, 3}, {64, 4}, {1024, 4}, {1025, 5}, {1 << 20, 5},
+	}
+	for _, c := range cases {
+		if got := RequiredMultiplicity(c.nodes); got != c.want {
+			t.Errorf("RequiredMultiplicity(%d) = %d, want %d", c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestPanicsOnBadMultiplicity(t *testing.T) {
+	for _, f := range []func(){
+		func() { GatesPerSwitch(0) },
+		func() { SwitchLatencyNS(-1) },
+		func() { RequiredMultiplicity(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	d := Table3()
+	if d.WavelengthNM != 980 {
+		t.Errorf("wavelength = %v", d.WavelengthNM)
+	}
+	if d.SponRecombLifetimePS != 37 || d.PhotonLifetimePS != 2.72 {
+		t.Errorf("lifetimes = %v/%v", d.SponRecombLifetimePS, d.PhotonLifetimePS)
+	}
+	if d.ThresholdCurrentA != 0.1e-3 || d.BiasCurrentA != 0.2e-3 {
+		t.Errorf("currents = %v/%v", d.ThresholdCurrentA, d.BiasCurrentA)
+	}
+}
+
+func TestSwitchArea(t *testing.T) {
+	// 1112 gates x 25 µm² = 27,800 µm² = 0.0278 mm²: tiny versus the
+	// 320 mm² interposer, matching the paper's <10% area claim.
+	got := SwitchAreaUM2(4)
+	if got != 1112*25 {
+		t.Errorf("SwitchAreaUM2(4) = %v", got)
+	}
+}

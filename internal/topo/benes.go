@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"fmt"
+
+	"baldur/internal/sim"
+)
+
+// NewBenes builds a Benes-style network with multiplicity m: 2*log2(N)-1
+// stages, where the first log2(N)-1 "distribution" stages route by random
+// bits (Valiant-style load balancing) and the remaining log2(N) stages are a
+// destination-tag butterfly. The paper (Sec IV) expects Baldur to behave
+// equivalently on Benes; this builder lets the claim be tested, and it also
+// separates two sources of randomness the multi-butterfly conflates:
+// randomized *wiring* versus randomized *routing*. A Benes network with
+// fully regular wiring is still immune to worst-case permutations because
+// the distribution stages scatter any permutation into random traffic.
+//
+// The DistStages field of the result is set to log2(N)-1: callers must
+// route those stages with per-packet random bits (see core.Config.Topology
+// "benes").
+func NewBenes(nodes, m int, seed uint64, randomWiring bool) (*MultiButterfly, error) {
+	n := log2(nodes)
+	if n < 2 || 1<<n != nodes {
+		return nil, fmt.Errorf("topo: nodes = %d, want a power of two >= 4", nodes)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("topo: multiplicity = %d, want >= 1", m)
+	}
+	dist := n - 1
+	total := dist + n
+	mb := &MultiButterfly{Nodes: nodes, M: m, Stages: total, DistStages: dist}
+	mb.wiring = make([][]PortRef, total)
+	switchesPerStage := nodes / 2
+	for s := 0; s < total; s++ {
+		mb.wiring[s] = make([]PortRef, switchesPerStage*2*m)
+	}
+	rng := sim.NewRNG(seed ^ 0xbe9e5)
+
+	// Distribution stages: direction is a coin flip, so both directions'
+	// wires may land anywhere in the next stage (one big group).
+	perm := make([]int, switchesPerStage*2*m)
+	for s := 0; s < dist; s++ {
+		if randomWiring {
+			rng.Perm(perm)
+		} else {
+			// Regular: a fixed rotation — always a bijection, and
+			// deliberately structure-free so the ablation isolates
+			// routing randomness from wiring randomness.
+			for i := range perm {
+				perm[i] = (i + switchesPerStage) % len(perm)
+			}
+		}
+		for k := 0; k < switchesPerStage; k++ {
+			for d := 0; d < 2; d++ {
+				for p := 0; p < m; p++ {
+					w := k*2*m + d*m + p
+					target := perm[w]
+					mb.wiring[s][w] = PortRef{
+						Switch: int32(target / (2 * m)),
+						Port:   int16(target % (2 * m)),
+					}
+				}
+			}
+		}
+	}
+
+	// Destination-tag butterfly for the last n stages (group-sorted).
+	for bs := 0; bs < n-1; bs++ {
+		s := dist + bs
+		groups := 1 << bs
+		groupSize := switchesPerStage / groups
+		nextGroupSize := groupSize / 2
+		for g := 0; g < groups; g++ {
+			for d := 0; d < 2; d++ {
+				wires := groupSize * m
+				sub := perm[:wires]
+				if randomWiring {
+					rng.Perm(sub)
+				} else {
+					for i := range sub {
+						sub[i] = i
+					}
+				}
+				nextGroup := g<<1 | d
+				nextBase := int32(nextGroup * nextGroupSize)
+				for w := 0; w < wires; w++ {
+					k := g*groupSize + w/m
+					p := w % m
+					target := sub[w]
+					mb.wiring[s][k*2*m+d*m+p] = PortRef{
+						Switch: nextBase + int32(target/(2*m)),
+						Port:   int16(target % (2 * m)),
+					}
+				}
+			}
+		}
+	}
+	last := total - 1
+	for k := 0; k < switchesPerStage; k++ {
+		for d := 0; d < 2; d++ {
+			node := int32(k<<1 | d)
+			for p := 0; p < m; p++ {
+				mb.wiring[last][k*2*m+d*m+p] = PortRef{Switch: node, Port: int16(p)}
+			}
+		}
+	}
+	return mb, nil
+}

@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"testing"
+
+	"baldur/internal/sim"
+)
+
+// followBenes walks a packet using given distribution bits, then dest tags.
+func followBenes(mb *MultiButterfly, src, dst int, distBits uint64) int {
+	sw, _ := mb.InjectionSwitch(src)
+	for s := 0; s < mb.Stages; s++ {
+		var d int
+		if s < mb.DistStages {
+			d = int(distBits>>uint(s)) & 1
+		} else {
+			d = mb.RoutingBit(dst, s)
+		}
+		sw = mb.OutWire(s, sw, d, 0).Switch
+	}
+	return int(sw)
+}
+
+func TestBenesGeometry(t *testing.T) {
+	mb, err := NewBenes(64, 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Stages != 11 { // 2*6-1
+		t.Errorf("stages = %d, want 11", mb.Stages)
+	}
+	if mb.DistStages != 5 {
+		t.Errorf("dist stages = %d, want 5", mb.DistStages)
+	}
+}
+
+func TestBenesRoutesForAnyDistributionBits(t *testing.T) {
+	// Whatever the random distribution bits, the destination-tag half
+	// must deliver the packet. This is the Valiant correctness property.
+	for _, randomWiring := range []bool{true, false} {
+		mb, err := NewBenes(64, 2, 3, randomWiring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(7)
+		for trial := 0; trial < 2000; trial++ {
+			src := rng.Intn(64)
+			dst := rng.Intn(64)
+			bits := rng.Uint64()
+			if got := followBenes(mb, src, dst, bits); got != dst {
+				t.Fatalf("wiring random=%v: src %d dst %d bits %x arrived at %d",
+					randomWiring, src, dst, bits, got)
+			}
+		}
+	}
+}
+
+func TestBenesValidMatchings(t *testing.T) {
+	for _, randomWiring := range []bool{true, false} {
+		mb, err := NewBenes(32, 3, 5, randomWiring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < mb.Stages-1; s++ {
+			seen := make(map[PortRef]bool)
+			for k := int32(0); k < int32(mb.SwitchesPerStage()); k++ {
+				for d := 0; d < 2; d++ {
+					for p := 0; p < mb.M; p++ {
+						ref := mb.OutWire(s, k, d, p)
+						if seen[ref] {
+							t.Fatalf("random=%v stage %d: input %v targeted twice",
+								randomWiring, s, ref)
+						}
+						seen[ref] = true
+					}
+				}
+			}
+			if len(seen) != mb.SwitchesPerStage()*2*mb.M {
+				t.Fatalf("random=%v stage %d: matching incomplete", randomWiring, s)
+			}
+		}
+	}
+}
+
+func TestBenesRejectsBadInput(t *testing.T) {
+	if _, err := NewBenes(100, 1, 0, true); err == nil {
+		t.Error("non power of two accepted")
+	}
+	if _, err := NewBenes(16, 0, 0, true); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

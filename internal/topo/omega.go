@@ -1,0 +1,56 @@
+package topo
+
+import "fmt"
+
+// NewOmega builds an Omega network wiring with multiplicity m: each stage
+// boundary applies the perfect shuffle (rotate-left of the position bits)
+// instead of the butterfly's bit-controlled exchange pattern. The paper
+// (Sec IV) expects Baldur to behave the same on Omega, Benes and other
+// multi-stage topologies because they are largely isomorphic [43]; this
+// builder lets that claim be tested directly.
+//
+// Routing uses the same MSB-first destination-tag bits as the butterfly:
+// the exchange at stage s writes destination bit (n-1-s) into the position
+// LSB and the following shuffle rotates it upward, so after n stages the
+// position equals the destination.
+func NewOmega(nodes, m int) (*MultiButterfly, error) {
+	n := log2(nodes)
+	if n < 2 || 1<<n != nodes {
+		return nil, fmt.Errorf("topo: nodes = %d, want a power of two >= 4", nodes)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("topo: multiplicity = %d, want >= 1", m)
+	}
+	mb := &MultiButterfly{Nodes: nodes, M: m, Stages: n}
+	mb.wiring = make([][]PortRef, n)
+	switchesPerStage := nodes / 2
+	for s := 0; s < n; s++ {
+		mb.wiring[s] = make([]PortRef, switchesPerStage*2*m)
+	}
+	shuffle := func(p int) int {
+		return ((p << 1) | (p >> (n - 1))) & (nodes - 1)
+	}
+	for s := 0; s < n-1; s++ {
+		for k := 0; k < switchesPerStage; k++ {
+			for d := 0; d < 2; d++ {
+				next := shuffle(2*k + d)
+				for p := 0; p < m; p++ {
+					mb.wiring[s][k*2*m+d*m+p] = PortRef{
+						Switch: int32(next >> 1),
+						Port:   int16((next&1)*m + p),
+					}
+				}
+			}
+		}
+	}
+	last := n - 1
+	for k := 0; k < switchesPerStage; k++ {
+		for d := 0; d < 2; d++ {
+			node := int32(k<<1 | d)
+			for p := 0; p < m; p++ {
+				mb.wiring[last][k*2*m+d*m+p] = PortRef{Switch: node, Port: int16(p)}
+			}
+		}
+	}
+	return mb, nil
+}

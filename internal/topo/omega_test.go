@@ -1,0 +1,81 @@
+package topo
+
+import "testing"
+
+func TestOmegaRoutes(t *testing.T) {
+	mb, err := NewOmega(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < mb.Nodes; src += 13 {
+		for dst := 0; dst < mb.Nodes; dst += 17 {
+			if got := followPath(mb, src, dst); got != dst {
+				t.Fatalf("omega: src %d -> dst %d arrived at %d", src, dst, got)
+			}
+		}
+	}
+}
+
+func TestOmegaRoutesExhaustiveSmall(t *testing.T) {
+	mb, err := NewOmega(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if got := followPath(mb, src, dst); got != dst {
+				t.Fatalf("omega: src %d -> dst %d arrived at %d", src, dst, got)
+			}
+		}
+	}
+}
+
+func TestOmegaValidMatching(t *testing.T) {
+	mb, err := NewOmega(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < mb.Stages-1; s++ {
+		seen := make(map[PortRef]bool)
+		for k := int32(0); k < int32(mb.SwitchesPerStage()); k++ {
+			for d := 0; d < 2; d++ {
+				for p := 0; p < mb.M; p++ {
+					ref := mb.OutWire(s, k, d, p)
+					if seen[ref] {
+						t.Fatalf("stage %d: input %v targeted twice", s, ref)
+					}
+					seen[ref] = true
+				}
+			}
+		}
+		if len(seen) != mb.SwitchesPerStage()*2*mb.M {
+			t.Fatalf("stage %d: matching incomplete", s)
+		}
+	}
+}
+
+func TestOmegaRejectsBadInput(t *testing.T) {
+	if _, err := NewOmega(100, 1); err == nil {
+		t.Error("non power of two accepted")
+	}
+	if _, err := NewOmega(16, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestOmegaDiffersFromButterfly(t *testing.T) {
+	om, _ := NewOmega(64, 1)
+	bf, _ := NewRegularButterfly(64, 1)
+	same := true
+	for s := 0; s < om.Stages-1 && same; s++ {
+		for k := int32(0); k < int32(om.SwitchesPerStage()); k++ {
+			if om.OutWire(s, k, 0, 0) != bf.OutWire(s, k, 0, 0) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("omega wiring identical to butterfly; shuffle missing")
+	}
+}

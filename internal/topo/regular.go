@@ -1,0 +1,67 @@
+package topo
+
+import "fmt"
+
+// NewRegularButterfly builds a classic (non-randomized) butterfly wiring
+// with multiplicity m: structurally identical to NewMultiButterfly, but the
+// inter-stage connections follow the deterministic butterfly permutation
+// (all m wires of a direction land on the canonical next switch). It exists
+// as the ablation baseline for the paper's randomization claim: without
+// random matchings the network has no expansion property, so adversarial
+// permutations (e.g. transpose) concentrate traffic and the drop rate does
+// not improve with scale-appropriate multiplicity (Sec IV-E, [14], [19]).
+func NewRegularButterfly(nodes, m int) (*MultiButterfly, error) {
+	n := log2(nodes)
+	if n < 2 || 1<<n != nodes {
+		return nil, fmt.Errorf("topo: nodes = %d, want a power of two >= 4", nodes)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("topo: multiplicity = %d, want >= 1", m)
+	}
+	mb := &MultiButterfly{Nodes: nodes, M: m, Stages: n}
+	mb.wiring = make([][]PortRef, n)
+	switchesPerStage := nodes / 2
+
+	for s := 0; s < n; s++ {
+		mb.wiring[s] = make([]PortRef, switchesPerStage*2*m)
+	}
+	// Regular butterfly: a switch k at stage s serving group g (of size
+	// groupSize switches) sends its direction-d wires to the switch at
+	// the same relative position within the halved next-stage group.
+	for s := 0; s < n-1; s++ {
+		groups := 1 << s
+		groupSize := switchesPerStage / groups
+		nextGroupSize := groupSize / 2
+		for k := 0; k < switchesPerStage; k++ {
+			g := k / groupSize
+			rel := k % groupSize
+			for d := 0; d < 2; d++ {
+				nextGroup := g<<1 | d
+				next := int32(nextGroup*nextGroupSize + rel%nextGroupSize)
+				for p := 0; p < m; p++ {
+					// All m wires of a direction go to the same
+					// canonical switch; distinct input ports keep
+					// the wiring a perfect matching. Which input
+					// port is irrelevant functionally, but the
+					// two source switches sharing a target must
+					// not collide: switches rel and
+					// rel+nextGroupSize both map to the same
+					// next switch, on disjoint port ranges.
+					half := (rel / nextGroupSize) & 1
+					port := int16(half*m + p)
+					mb.wiring[s][k*2*m+d*m+p] = PortRef{Switch: next, Port: port}
+				}
+			}
+		}
+	}
+	s := n - 1
+	for k := 0; k < switchesPerStage; k++ {
+		for d := 0; d < 2; d++ {
+			node := int32(k<<1 | d)
+			for p := 0; p < m; p++ {
+				mb.wiring[s][k*2*m+d*m+p] = PortRef{Switch: node, Port: int16(p)}
+			}
+		}
+	}
+	return mb, nil
+}

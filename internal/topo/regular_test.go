@@ -1,0 +1,68 @@
+package topo
+
+import "testing"
+
+func TestRegularButterflyValidMatching(t *testing.T) {
+	mb, err := NewRegularButterfly(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mb.M
+	for s := 0; s < mb.Stages-1; s++ {
+		seen := make(map[PortRef]bool)
+		for k := int32(0); k < int32(mb.SwitchesPerStage()); k++ {
+			for d := 0; d < 2; d++ {
+				for p := 0; p < m; p++ {
+					ref := mb.OutWire(s, k, d, p)
+					if seen[ref] {
+						t.Fatalf("stage %d: input %v targeted twice", s, ref)
+					}
+					seen[ref] = true
+				}
+			}
+		}
+		if got, want := len(seen), mb.SwitchesPerStage()*2*m; got != want {
+			t.Fatalf("stage %d: %d inputs covered, want %d", s, got, want)
+		}
+	}
+}
+
+func TestRegularButterflyRoutes(t *testing.T) {
+	mb, err := NewRegularButterfly(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < mb.Nodes; src += 19 {
+		for dst := 0; dst < mb.Nodes; dst += 23 {
+			if got := followPath(mb, src, dst); got != dst {
+				t.Fatalf("src %d -> dst %d arrived at %d", src, dst, got)
+			}
+		}
+	}
+}
+
+func TestRegularButterflyRejectsBadInput(t *testing.T) {
+	if _, err := NewRegularButterfly(100, 1); err == nil {
+		t.Error("non power of two accepted")
+	}
+	if _, err := NewRegularButterfly(16, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestRegularButterflyPathsConverge(t *testing.T) {
+	// In the regular wiring all m wires of a direction land on the same
+	// next switch — the structural difference from the randomized
+	// version, and the reason it lacks expansion.
+	mb, _ := NewRegularButterfly(64, 3)
+	for k := int32(0); k < int32(mb.SwitchesPerStage()); k++ {
+		for d := 0; d < 2; d++ {
+			first := mb.OutWire(0, k, d, 0).Switch
+			for p := 1; p < mb.M; p++ {
+				if mb.OutWire(0, k, d, p).Switch != first {
+					t.Fatalf("regular wiring spread paths at switch %d", k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"baldur/internal/sim"
+)
+
+// Text trace format, for saving generated workloads and replaying external
+// ones (a portable stand-in for DUMPI):
+//
+//	# comments and blank lines are ignored
+//	workload <name> ranks <N> [mtu <bytes>]
+//	rank <id>
+//	  send <peer> <bytes>
+//	  recv <peer> <bytes>
+//	  compute <nanoseconds>
+//
+// Ranks may appear in any order; a rank with no section has an empty
+// program.
+
+// Save serializes the workload in the text trace format.
+func (w *Workload) Save(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "workload %s ranks %d", sanitizeName(w.Name), len(w.Programs))
+	if w.PacketSize != 0 {
+		fmt.Fprintf(bw, " mtu %d", w.PacketSize)
+	}
+	fmt.Fprintln(bw)
+	for rank, prog := range w.Programs {
+		if len(prog) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "rank %d\n", rank)
+		for _, op := range prog {
+			switch op.Kind {
+			case OpSend:
+				fmt.Fprintf(bw, "  send %d %d\n", op.Peer, op.Bytes)
+			case OpRecv:
+				fmt.Fprintf(bw, "  recv %d %d\n", op.Peer, op.Bytes)
+			case OpCompute:
+				fmt.Fprintf(bw, "  compute %d\n", int64(op.Dur.Nanoseconds()))
+			default:
+				return fmt.Errorf("trace: unknown op kind %d", op.Kind)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(name, " ", "_")
+}
+
+// Read parses a workload from the text trace format and validates it.
+func Read(in io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var w *Workload
+	cur := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "workload":
+			if w != nil {
+				return nil, fmt.Errorf("trace: line %d: duplicate workload header", lineNo)
+			}
+			if len(fields) < 4 || fields[2] != "ranks" {
+				return nil, fmt.Errorf("trace: line %d: want 'workload <name> ranks <N>'", lineNo)
+			}
+			ranks, err := strconv.Atoi(fields[3])
+			if err != nil || ranks <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad rank count %q", lineNo, fields[3])
+			}
+			w = &Workload{Name: fields[1], Programs: make([]Program, ranks)}
+			if len(fields) >= 6 && fields[4] == "mtu" {
+				mtu, err := strconv.Atoi(fields[5])
+				if err != nil || mtu <= 0 {
+					return nil, fmt.Errorf("trace: line %d: bad mtu %q", lineNo, fields[5])
+				}
+				w.PacketSize = mtu
+			}
+		case "rank":
+			if w == nil {
+				return nil, fmt.Errorf("trace: line %d: rank before workload header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'rank <id>'", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= len(w.Programs) {
+				return nil, fmt.Errorf("trace: line %d: rank %q out of range", lineNo, fields[1])
+			}
+			cur = id
+		case "send", "recv":
+			if w == nil || cur < 0 {
+				return nil, fmt.Errorf("trace: line %d: op outside a rank section", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want '%s <peer> <bytes>'", lineNo, fields[0])
+			}
+			peer, err1 := strconv.Atoi(fields[1])
+			bytes, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || bytes <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad operands", lineNo)
+			}
+			kind := OpSend
+			if fields[0] == "recv" {
+				kind = OpRecv
+			}
+			w.Programs[cur] = append(w.Programs[cur], Op{Kind: kind, Peer: peer, Bytes: bytes})
+		case "compute":
+			if w == nil || cur < 0 {
+				return nil, fmt.Errorf("trace: line %d: op outside a rank section", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'compute <ns>'", lineNo)
+			}
+			ns, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || ns < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad duration %q", lineNo, fields[1])
+			}
+			w.Programs[cur] = append(w.Programs[cur], Op{Kind: OpCompute, Dur: sim.Nanoseconds(ns)})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripAllGenerators(t *testing.T) {
+	for _, name := range Names() {
+		w := ByName(name, 32, Options{Seed: 2})
+		var buf bytes.Buffer
+		if err := w.Save(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.Name != w.Name || len(got.Programs) != len(w.Programs) {
+			t.Fatalf("%s: header mismatch: %s/%d vs %s/%d",
+				name, got.Name, len(got.Programs), w.Name, len(w.Programs))
+		}
+		for rank := range w.Programs {
+			if len(got.Programs[rank]) != len(w.Programs[rank]) {
+				t.Fatalf("%s rank %d: %d ops vs %d", name, rank,
+					len(got.Programs[rank]), len(w.Programs[rank]))
+			}
+			for i, op := range w.Programs[rank] {
+				g := got.Programs[rank][i]
+				if g.Kind != op.Kind || g.Peer != op.Peer || g.Bytes != op.Bytes {
+					t.Fatalf("%s rank %d op %d: %+v vs %+v", name, rank, i, g, op)
+				}
+				if op.Kind == OpCompute && g.Dur != op.Dur {
+					t.Fatalf("%s rank %d op %d: dur %v vs %v", name, rank, i, g.Dur, op.Dur)
+				}
+			}
+		}
+	}
+}
+
+func TestReadHandComposed(t *testing.T) {
+	src := `
+# a 2-rank ping
+workload ping ranks 2 mtu 256
+rank 0
+  send 1 1024
+  recv 1 1024
+rank 1
+  recv 0 1024
+  compute 500
+  send 0 1024
+`
+	w, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "ping" || len(w.Programs) != 2 || w.PacketSize != 256 {
+		t.Fatalf("header: %+v", w)
+	}
+	if len(w.Programs[0]) != 2 || len(w.Programs[1]) != 3 {
+		t.Fatalf("programs: %d/%d ops", len(w.Programs[0]), len(w.Programs[1]))
+	}
+	if w.Programs[1][1].Kind != OpCompute || w.Programs[1][1].Dur.Nanoseconds() != 500 {
+		t.Errorf("compute op: %+v", w.Programs[1][1])
+	}
+	// 1024 B at mtu 256 = 4 packets per message.
+	if got := w.packets(1024); got != 4 {
+		t.Errorf("packets(1024) = %d, want 4", got)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no header":        "rank 0\n send 1 10\n",
+		"bad rank count":   "workload x ranks zero\n",
+		"rank oob":         "workload x ranks 2\nrank 5\n",
+		"op outside rank":  "workload x ranks 2\nsend 1 10\n",
+		"bad op operands":  "workload x ranks 2\nrank 0\nsend one 10\n",
+		"unknown op":       "workload x ranks 2\nrank 0\nfancy 1 2\n",
+		"unmatched recv":   "workload x ranks 2\nrank 0\nrecv 1 512\n",
+		"duplicate header": "workload x ranks 2\nworkload y ranks 2\n",
+		"negative compute": "workload x ranks 2\nrank 0\ncompute -5\n",
+		"bad mtu":          "workload x ranks 2 mtu zero\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteSanitizesName(t *testing.T) {
+	w := &Workload{Name: "my trace", Programs: make([]Program, 1)}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload my_trace ranks 1") {
+		t.Errorf("output: %q", buf.String())
+	}
+	empty := &Workload{Programs: make([]Program, 1)}
+	buf.Reset()
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload unnamed") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestReadThenReplay(t *testing.T) {
+	// A loaded trace must replay exactly like the generated one.
+	w := AMG(16, Options{Iterations: 1})
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := baldurNet(t, 16)
+	rep, err := NewReplayer(n, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Run()
+	if !st.Completed {
+		t.Error("loaded trace replay incomplete")
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace provides the communication-trace engine used for the
+// paper's HPC workload evaluation (Sec V-A). The paper replays DUMPI traces
+// of four DOE Design Forward mini-apps; those traces are not
+// redistributable, so this package supplies (a) a replay engine with
+// MPI-like blocking semantics (Send / Recv / Compute) that runs against any
+// netsim.Network, and (b) synthetic generators that reproduce the
+// communication *structure* of four Design Forward applications: AMG
+// (3-D 6-point halo exchange), BigFFT (phased personalized all-to-all),
+// CrystalRouter (ring neighbourhoods with heavy pairwise transfers), and
+// FillBoundary "FB" (AMR boundary fill: irregular many-to-few exchanges that
+// concentrate load — the pattern that degrades dragonfly and fat-tree most
+// in the paper's Fig 7).
+package trace
+
+import (
+	"fmt"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// OpKind enumerates trace operations.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	OpSend    OpKind = iota // send Bytes to Peer (non-blocking, eager)
+	OpRecv                  // block until Bytes from Peer have arrived
+	OpCompute               // local computation for Dur
+)
+
+// Op is one trace operation of a rank.
+type Op struct {
+	Kind  OpKind
+	Peer  int
+	Bytes int
+	Dur   sim.Duration
+}
+
+// Program is the operation list of one rank.
+type Program []Op
+
+// Workload is a complete communication trace: one program per node.
+type Workload struct {
+	Name     string
+	Programs []Program
+	// PacketSize is the MTU messages are segmented into (default 512).
+	PacketSize int
+}
+
+func (w *Workload) packetSize() int {
+	if w.PacketSize == 0 {
+		return 512
+	}
+	return w.PacketSize
+}
+
+// packets returns how many packets a message of b bytes occupies.
+func (w *Workload) packets(b int) int {
+	ps := w.packetSize()
+	n := (b + ps - 1) / ps
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate checks that every Recv is matched by equal send volume on the
+// pair, so the replay cannot deadlock on missing data.
+func (w *Workload) Validate() error {
+	type pair struct{ a, b int }
+	sent := map[pair]int{}
+	recv := map[pair]int{}
+	for rank, prog := range w.Programs {
+		for i, op := range prog {
+			switch op.Kind {
+			case OpSend:
+				if op.Peer < 0 || op.Peer >= len(w.Programs) || op.Peer == rank {
+					return fmt.Errorf("trace %s: rank %d op %d: bad peer %d", w.Name, rank, i, op.Peer)
+				}
+				sent[pair{rank, op.Peer}] += w.packets(op.Bytes)
+			case OpRecv:
+				if op.Peer < 0 || op.Peer >= len(w.Programs) || op.Peer == rank {
+					return fmt.Errorf("trace %s: rank %d op %d: bad peer %d", w.Name, rank, i, op.Peer)
+				}
+				recv[pair{op.Peer, rank}] += w.packets(op.Bytes)
+			}
+		}
+	}
+	for pr, nrecv := range recv {
+		if sent[pr] < nrecv {
+			return fmt.Errorf("trace %s: rank %d expects %d packets from %d but only %d sent",
+				w.Name, pr.b, nrecv, pr.a, sent[pr])
+		}
+	}
+	return nil
+}
+
+// TotalMessages returns the number of Send operations in the workload.
+func (w *Workload) TotalMessages() int {
+	n := 0
+	for _, prog := range w.Programs {
+		for _, op := range prog {
+			if op.Kind == OpSend {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats reports the outcome of a replay.
+type Stats struct {
+	Makespan  sim.Duration // virtual time until the last rank finished
+	Packets   uint64       // data packets injected
+	Completed bool         // all ranks ran their program to the end
+}
+
+// rankState is the replay state of one node.
+type rankState struct {
+	pc      int
+	waiting bool // blocked in a Recv
+	waitSrc int
+	need    int // packets still needed by the current Recv
+	pending map[int]int
+	done    bool
+}
+
+// Replayer executes a workload on a network.
+type Replayer struct {
+	net   netsim.Network
+	w     *Workload
+	ranks []*rankState
+	stats Stats
+	alive int
+}
+
+// NewReplayer wires a replayer to the network. The workload's node count
+// must not exceed the network's.
+func NewReplayer(net netsim.Network, w *Workload) (*Replayer, error) {
+	if len(w.Programs) > net.NumNodes() {
+		return nil, fmt.Errorf("trace: workload has %d ranks, network %d nodes",
+			len(w.Programs), net.NumNodes())
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replayer{net: net, w: w}
+	r.ranks = make([]*rankState, len(w.Programs))
+	for i := range r.ranks {
+		r.ranks[i] = &rankState{pending: map[int]int{}}
+	}
+	r.alive = len(w.Programs)
+	net.OnDeliver(r.onDeliver)
+	return r, nil
+}
+
+// Run replays the workload to completion and returns the statistics. It
+// drives the network's engine, so attach collectors beforehand.
+func (r *Replayer) Run() Stats {
+	eng := r.net.Engine()
+	eng.At(eng.Now(), func() {
+		for rank := range r.ranks {
+			r.step(rank)
+		}
+	})
+	eng.Run()
+	r.stats.Makespan = eng.Now().Sub(0)
+	r.stats.Completed = r.alive == 0
+	return r.stats
+}
+
+// step advances a rank until it blocks or finishes.
+func (r *Replayer) step(rank int) {
+	st := r.ranks[rank]
+	prog := r.w.Programs[rank]
+	for !st.done {
+		if st.pc >= len(prog) {
+			st.done = true
+			r.alive--
+			return
+		}
+		op := prog[st.pc]
+		switch op.Kind {
+		case OpSend:
+			n := r.w.packets(op.Bytes)
+			last := op.Bytes - (n-1)*r.w.packetSize()
+			for i := 0; i < n; i++ {
+				size := r.w.packetSize()
+				if i == n-1 && last > 0 {
+					size = last
+				}
+				r.net.Send(rank, op.Peer, size)
+				r.stats.Packets++
+			}
+			st.pc++
+		case OpCompute:
+			st.pc++
+			if op.Dur > 0 {
+				r.net.Engine().After(op.Dur, func() { r.step(rank) })
+				return
+			}
+		case OpRecv:
+			need := r.w.packets(op.Bytes)
+			avail := st.pending[op.Peer]
+			if avail >= need {
+				st.pending[op.Peer] = avail - need
+				st.pc++
+				continue
+			}
+			st.pending[op.Peer] = 0
+			st.need = need - avail
+			st.waitSrc = op.Peer
+			st.waiting = true
+			return
+		default:
+			panic(fmt.Sprintf("trace: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+func (r *Replayer) onDeliver(p *netsim.Packet, _ sim.Time) {
+	if p.Dst >= len(r.ranks) {
+		return
+	}
+	st := r.ranks[p.Dst]
+	if st.waiting && st.waitSrc == p.Src {
+		st.need--
+		if st.need == 0 {
+			st.waiting = false
+			st.pc++
+			r.step(p.Dst)
+		}
+		return
+	}
+	st.pending[p.Src]++
+}

@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"testing"
+
+	"baldur/internal/core"
+	"baldur/internal/elecnet"
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+func baldurNet(t *testing.T, nodes int) *core.Network {
+	t.Helper()
+	n, err := core.New(core.Config{Nodes: nodes, Multiplicity: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestReplayPingPongSemantics(t *testing.T) {
+	// Rank 0 sends, rank 1 receives then replies: strict alternation.
+	w := &Workload{
+		Name: "pp",
+		Programs: []Program{
+			{{Kind: OpSend, Peer: 1, Bytes: 512}, {Kind: OpRecv, Peer: 1, Bytes: 512}},
+			{{Kind: OpRecv, Peer: 0, Bytes: 512}, {Kind: OpSend, Peer: 0, Bytes: 512}},
+		},
+	}
+	n := baldurNet(t, 4)
+	r, err := NewReplayer(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Run()
+	if !st.Completed {
+		t.Fatal("replay did not complete")
+	}
+	if st.Packets != 2 {
+		t.Errorf("packets = %d, want 2", st.Packets)
+	}
+	// Round trip: two one-way latencies (~380 ns each at zero load).
+	if st.Makespan < sim.Nanoseconds(700) || st.Makespan > sim.Microseconds(3) {
+		t.Errorf("makespan = %v, want ~0.8us", st.Makespan)
+	}
+}
+
+func TestReplayComputeDelays(t *testing.T) {
+	w := &Workload{
+		Name: "compute",
+		Programs: []Program{
+			{{Kind: OpCompute, Dur: 10 * sim.Microsecond}},
+		},
+	}
+	n := baldurNet(t, 4)
+	r, err := NewReplayer(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Run()
+	if !st.Completed || st.Makespan < 10*sim.Microsecond {
+		t.Errorf("makespan = %v, want >= 10us", st.Makespan)
+	}
+}
+
+func TestReplayRecvBeforeSendArrives(t *testing.T) {
+	// Rank 1 posts its Recv immediately; rank 0 computes first, then
+	// sends. The blocked Recv must resume on delivery.
+	w := &Workload{
+		Name: "blocked",
+		Programs: []Program{
+			{{Kind: OpCompute, Dur: 5 * sim.Microsecond}, {Kind: OpSend, Peer: 1, Bytes: 2048}},
+			{{Kind: OpRecv, Peer: 0, Bytes: 2048}},
+		},
+	}
+	n := baldurNet(t, 4)
+	r, err := NewReplayer(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Run()
+	if !st.Completed {
+		t.Fatal("blocked recv never resumed")
+	}
+	if st.Packets != 4 {
+		t.Errorf("packets = %d, want 4 (2048B = 4x512B)", st.Packets)
+	}
+	if st.Makespan < 5*sim.Microsecond {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+}
+
+func TestValidateCatchesUnmatchedRecv(t *testing.T) {
+	w := &Workload{
+		Name: "bad",
+		Programs: []Program{
+			{},
+			{{Kind: OpRecv, Peer: 0, Bytes: 512}},
+		},
+	}
+	if err := w.Validate(); err == nil {
+		t.Error("unmatched recv accepted")
+	}
+	selfSend := &Workload{
+		Name:     "self",
+		Programs: []Program{{{Kind: OpSend, Peer: 0, Bytes: 1}}},
+	}
+	if err := selfSend.Validate(); err == nil {
+		t.Error("self send accepted")
+	}
+}
+
+func TestWorkloadGeneratorsValidate(t *testing.T) {
+	for _, name := range Names() {
+		w := ByName(name, 64, Options{Seed: 3})
+		if w == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if w.TotalMessages() == 0 {
+			t.Errorf("%s: empty workload", name)
+		}
+	}
+	if ByName("nope", 64, Options{}) != nil {
+		t.Error("unknown name returned a workload")
+	}
+}
+
+func TestAMGIsNearestNeighbour(t *testing.T) {
+	w := AMG(64, Options{}) // 4x4x4 grid
+	// Every peer must differ in exactly one grid coordinate by 1.
+	px, py, pz := grid3(64)
+	if px != 4 || py != 4 || pz != 4 {
+		t.Fatalf("grid3(64) = %d,%d,%d", px, py, pz)
+	}
+	coord := func(r int) (int, int, int) { return r % px, (r / px) % py, r / (px * py) }
+	for rank, prog := range w.Programs {
+		for _, op := range prog {
+			if op.Kind != OpSend {
+				continue
+			}
+			x1, y1, z1 := coord(rank)
+			x2, y2, z2 := coord(op.Peer)
+			d := abs(x1-x2) + abs(y1-y2) + abs(z1-z2)
+			if d != 1 {
+				t.Fatalf("AMG rank %d sends to %d: distance %d", rank, op.Peer, d)
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFillBoundaryHasHotRanks(t *testing.T) {
+	w := FillBoundary(128, Options{Seed: 1})
+	recvCount := map[int]int{}
+	for rank, prog := range w.Programs {
+		for _, op := range prog {
+			if op.Kind == OpRecv {
+				recvCount[rank]++
+			}
+		}
+	}
+	max, min := 0, 1<<30
+	for _, c := range recvCount {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("FB not skewed: max recvs %d vs min %d", max, min)
+	}
+}
+
+func TestReplayOnBaldurAllWorkloads(t *testing.T) {
+	for _, name := range Names() {
+		w := ByName(name, 64, Options{Seed: 5})
+		n := baldurNet(t, 64)
+		var c netsim.Collector
+		c.Attach(n)
+		r, err := NewReplayer(n, w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := r.Run()
+		if !st.Completed {
+			t.Fatalf("%s: replay stuck (makespan %v)", name, st.Makespan)
+		}
+		if c.Delivered() == 0 {
+			t.Fatalf("%s: nothing delivered", name)
+		}
+	}
+}
+
+func TestReplayOnFatTree(t *testing.T) {
+	ft, err := elecnet.NewFatTree(elecnet.FatTreeConfig{K: 8}) // 128 hosts
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := AMG(128, Options{})
+	r, err := NewReplayer(ft, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Run()
+	if !st.Completed {
+		t.Fatal("fat-tree replay stuck")
+	}
+}
+
+func TestReplayOnDragonfly(t *testing.T) {
+	df, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: 2, Seed: 9}) // 72 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FillBoundary(72, Options{Seed: 2})
+	r, err := NewReplayer(df, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Run()
+	if !st.Completed {
+		t.Fatal("dragonfly replay stuck")
+	}
+}
+
+func TestWorkloadTooBigRejected(t *testing.T) {
+	n := baldurNet(t, 4)
+	w := AMG(64, Options{})
+	if _, err := NewReplayer(n, w); err == nil {
+		t.Error("oversized workload accepted")
+	}
+}
+
+func TestGrid3(t *testing.T) {
+	cases := []struct{ n, x, y, z int }{
+		{8, 2, 2, 2}, {27, 3, 3, 3}, {12, 2, 2, 3}, {1024, 8, 8, 16},
+	}
+	for _, c := range cases {
+		x, y, z := grid3(c.n)
+		if x*y*z != c.n {
+			t.Errorf("grid3(%d) = %d,%d,%d does not multiply back", c.n, x, y, z)
+		}
+		if x != c.x || y != c.y || z != c.z {
+			t.Errorf("grid3(%d) = %d,%d,%d, want %d,%d,%d", c.n, x, y, z, c.x, c.y, c.z)
+		}
+	}
+}

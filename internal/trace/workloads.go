@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"baldur/internal/sim"
+)
+
+// Options tune the synthetic workload generators. Zero values select
+// defaults sized for CI-speed runs; the figures harness scales them up.
+type Options struct {
+	// Iterations is the number of communication rounds (default 2).
+	Iterations int
+	// MessageBytes scales the per-message size (default per workload).
+	MessageBytes int
+	// ComputeNS is the per-iteration compute time in nanoseconds
+	// (default 500).
+	ComputeNS float64
+	// Seed drives irregular structure (FillBoundary).
+	Seed uint64
+}
+
+func (o Options) iters() int {
+	if o.Iterations == 0 {
+		return 2
+	}
+	return o.Iterations
+}
+
+func (o Options) compute() sim.Duration {
+	if o.ComputeNS == 0 {
+		return 500 * sim.Nanosecond
+	}
+	return sim.Nanoseconds(o.ComputeNS)
+}
+
+func (o Options) msg(def int) int {
+	if o.MessageBytes == 0 {
+		return def
+	}
+	return o.MessageBytes
+}
+
+// grid3 factors n into the most cubic px*py*pz decomposition.
+func grid3(n int) (int, int, int) {
+	best := [3]int{1, 1, n}
+	bestScore := n * n
+	for x := 1; x*x*x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		rem := n / x
+		for y := x; y*y <= rem; y++ {
+			if rem%y != 0 {
+				continue
+			}
+			z := rem / y
+			score := (z - x) * (z - x)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{x, y, z}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// AMG generates an algebraic-multigrid style workload: a 3-D domain
+// decomposition with 6-point halo exchange each iteration, with the halo
+// shrinking at coarser levels (two levels per iteration).
+func AMG(nodes int, o Options) *Workload {
+	px, py, pz := grid3(nodes)
+	rankOf := func(x, y, z int) int { return (z*py+y)*px + x }
+	halo := o.msg(4096)
+	w := &Workload{Name: "AMG", Programs: make([]Program, nodes)}
+	coords := make([][3]int, nodes)
+	for z := 0; z < pz; z++ {
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				coords[rankOf(x, y, z)] = [3]int{x, y, z}
+			}
+		}
+	}
+	neighbours := func(rank int) []int {
+		c := coords[rank]
+		var out []int
+		dirs := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+		for _, d := range dirs {
+			x, y, z := c[0]+d[0], c[1]+d[1], c[2]+d[2]
+			if x < 0 || x >= px || y < 0 || y >= py || z < 0 || z >= pz {
+				continue
+			}
+			out = append(out, rankOf(x, y, z))
+		}
+		return out
+	}
+	for it := 0; it < o.iters(); it++ {
+		for level := 0; level < 2; level++ {
+			size := halo >> uint(level) // coarser level, smaller halo
+			if size < 64 {
+				size = 64
+			}
+			for rank := 0; rank < nodes; rank++ {
+				for _, nb := range neighbours(rank) {
+					w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpSend, Peer: nb, Bytes: size})
+				}
+			}
+			for rank := 0; rank < nodes; rank++ {
+				for _, nb := range neighbours(rank) {
+					w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpRecv, Peer: nb, Bytes: size})
+				}
+				w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpCompute, Dur: o.compute()})
+			}
+		}
+	}
+	return w
+}
+
+// BigFFT generates a phased personalized all-to-all (the communication core
+// of a distributed 3-D FFT transpose). Round i pairs rank r with
+// (r+i) mod n, which spreads the all-to-all over n-1 contention-free phases
+// at the application level — the network still sees heavy bisection load.
+func BigFFT(nodes int, o Options) *Workload {
+	w := &Workload{Name: "BigFFT", Programs: make([]Program, nodes)}
+	msg := o.msg(2048)
+	rounds := nodes - 1
+	if rounds > 16 {
+		rounds = 16 // cap the phase count to keep traces tractable
+	}
+	for it := 0; it < o.iters(); it++ {
+		for i := 1; i <= rounds; i++ {
+			for rank := 0; rank < nodes; rank++ {
+				to := (rank + i) % nodes
+				w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpSend, Peer: to, Bytes: msg})
+			}
+			for rank := 0; rank < nodes; rank++ {
+				from := (rank - i + nodes) % nodes
+				w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpRecv, Peer: from, Bytes: msg})
+			}
+		}
+		for rank := 0; rank < nodes; rank++ {
+			w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpCompute, Dur: o.compute()})
+		}
+	}
+	return w
+}
+
+// CrystalRouter generates the Design Forward CrystalRouter pattern: each
+// rank exchanges large messages with a small ring neighbourhood (distance 1
+// and 2), with a staged crystal-router data exchange that doubles distance
+// each stage (hypercube-like dimension exchange).
+func CrystalRouter(nodes int, o Options) *Workload {
+	w := &Workload{Name: "CrystalRouter", Programs: make([]Program, nodes)}
+	msg := o.msg(8192)
+	// Dimension-exchange stages: distance 1, 2, 4, ... < nodes.
+	for it := 0; it < o.iters(); it++ {
+		for dist := 1; dist < nodes && dist <= 8; dist *= 2 {
+			for rank := 0; rank < nodes; rank++ {
+				to := rank ^ dist
+				if to >= nodes {
+					continue
+				}
+				w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpSend, Peer: to, Bytes: msg})
+			}
+			for rank := 0; rank < nodes; rank++ {
+				from := rank ^ dist
+				if from >= nodes {
+					continue
+				}
+				w.Programs[rank] = append(w.Programs[rank],
+					Op{Kind: OpRecv, Peer: from, Bytes: msg},
+					Op{Kind: OpCompute, Dur: o.compute() / 4})
+			}
+		}
+	}
+	return w
+}
+
+// FillBoundary generates the AMR boundary-fill pattern ("FB" in Fig 7):
+// most ranks do a light neighbour exchange, but a few coarse-grid ranks
+// receive boundary data from many fine-grid ranks at once (many-to-few).
+// The resulting concentration is the adversarial hot structure under which
+// the paper observes dragonfly/fat-tree latencies blowing up (23.5X/46.1X
+// worse than Baldur).
+func FillBoundary(nodes int, o Options) *Workload {
+	rng := sim.NewRNG(o.Seed ^ 0xfb)
+	w := &Workload{Name: "FB", Programs: make([]Program, nodes)}
+	small := o.msg(1024)
+	// One coarse rank per 32 nodes, each gathering from a random subset
+	// of fine ranks and broadcasting corrections back.
+	coarseCount := nodes / 32
+	if coarseCount < 2 {
+		coarseCount = 2
+	}
+	coarse := make([]int, coarseCount)
+	for i := range coarse {
+		coarse[i] = rng.Intn(nodes)
+		for j := 0; j < i; j++ {
+			if coarse[j] == coarse[i] {
+				coarse[i] = (coarse[i] + 1) % nodes
+				j = -1 // restart collision scan
+			}
+		}
+	}
+	isCoarse := map[int]int{}
+	for i, c := range coarse {
+		isCoarse[c] = i
+	}
+	fanIn := 12
+	if fanIn > nodes/coarseCount {
+		fanIn = nodes / coarseCount
+	}
+	for it := 0; it < o.iters(); it++ {
+		// Light ring exchange for everyone.
+		for rank := 0; rank < nodes; rank++ {
+			right := (rank + 1) % nodes
+			w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpSend, Peer: right, Bytes: small})
+		}
+		for rank := 0; rank < nodes; rank++ {
+			left := (rank - 1 + nodes) % nodes
+			w.Programs[rank] = append(w.Programs[rank], Op{Kind: OpRecv, Peer: left, Bytes: small})
+		}
+		// Many-to-few gather into the coarse ranks, then scatter back.
+		for ci, c := range coarse {
+			members := make([]int, 0, fanIn)
+			for k := 0; len(members) < fanIn; k++ {
+				cand := (c + 1 + k*7 + ci) % nodes
+				if cand == c {
+					continue
+				}
+				if _, isC := isCoarse[cand]; isC {
+					continue
+				}
+				members = append(members, cand)
+			}
+			for _, mship := range members {
+				w.Programs[mship] = append(w.Programs[mship], Op{Kind: OpSend, Peer: c, Bytes: small * 4})
+			}
+			for _, mship := range members {
+				w.Programs[c] = append(w.Programs[c], Op{Kind: OpRecv, Peer: mship, Bytes: small * 4})
+			}
+			w.Programs[c] = append(w.Programs[c], Op{Kind: OpCompute, Dur: o.compute()})
+			for _, mship := range members {
+				w.Programs[c] = append(w.Programs[c], Op{Kind: OpSend, Peer: mship, Bytes: small})
+			}
+			for _, mship := range members {
+				w.Programs[mship] = append(w.Programs[mship], Op{Kind: OpRecv, Peer: c, Bytes: small})
+			}
+		}
+	}
+	return w
+}
+
+// ByName returns the named workload generator, or nil. Names are the
+// abbreviations of Fig 7: AMG, BigFFT, CR, FB.
+func ByName(name string, nodes int, o Options) *Workload {
+	switch name {
+	case "AMG", "amg":
+		return AMG(nodes, o)
+	case "BigFFT", "bigfft", "FT":
+		return BigFFT(nodes, o)
+	case "CR", "CrystalRouter", "cr":
+		return CrystalRouter(nodes, o)
+	case "FB", "FillBoundary", "fb":
+		return FillBoundary(nodes, o)
+	}
+	return nil
+}
+
+// Names lists the four workloads in Fig 7 order.
+func Names() []string { return []string{"AMG", "BigFFT", "CR", "FB"} }

@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"testing"
+
+	"baldur/internal/elecnet"
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+func TestOpenLoopInjectionCountAndSpacing(t *testing.T) {
+	net := elecnet.NewIdeal(16, 0)
+	var created []sim.Time
+	net.OnDeliver(func(p *netsim.Packet, _ sim.Time) {
+		created = append(created, p.Created)
+	})
+	ol := OpenLoop{
+		Pattern:        Hotspot(16, 0),
+		Load:           0.5,
+		PacketsPerNode: 20,
+		Seed:           4,
+	}
+	ol.Start(net)
+	net.Engine().Run()
+	// 15 transmitting nodes x 20 packets.
+	if len(created) != 300 {
+		t.Fatalf("injected %d, want 300", len(created))
+	}
+	// Mean inter-arrival per node should be near Eq 1's value: with 20
+	// packets per node over an exponential process the aggregate horizon
+	// is roughly 20 x mean.
+	mean := MeanInterval(512, 0.5, 25e9)
+	horizon := net.Engine().Now()
+	expect := sim.Time(20 * mean)
+	if horizon < expect/2 || horizon > expect*3 {
+		t.Errorf("injection horizon %v, expected around %v", horizon, expect)
+	}
+}
+
+func TestOpenLoopSkipsIdleNodes(t *testing.T) {
+	net := elecnet.NewIdeal(8, 0)
+	count := 0
+	net.OnDeliver(func(*netsim.Packet, sim.Time) { count++ })
+	pat := &Pattern{Name: "partial", Dest: []int{1, -1, -1, -1, -1, -1, -1, 0}}
+	ol := OpenLoop{Pattern: pat, Load: 0.9, PacketsPerNode: 5, Seed: 1}
+	ol.Start(net)
+	net.Engine().Run()
+	if count != 10 {
+		t.Errorf("delivered %d, want 10 (only two active nodes)", count)
+	}
+}
+
+func TestOpenLoopDefaultsApplied(t *testing.T) {
+	net := elecnet.NewIdeal(4, 0)
+	var size int
+	net.OnDeliver(func(p *netsim.Packet, _ sim.Time) { size = p.Size })
+	ol := OpenLoop{Pattern: Hotspot(4, 0), Load: 0.5, PacketsPerNode: 1, Seed: 1}
+	ol.Start(net)
+	net.Engine().Run()
+	if size != 512 {
+		t.Errorf("default packet size = %d, want 512", size)
+	}
+}
+
+func TestPingPongAlternation(t *testing.T) {
+	// On the ideal network a ping-pong pair exchanges exactly 2*Rounds
+	// packets, strictly alternating in time per pair.
+	net := elecnet.NewIdeal(4, 0)
+	var seq []int
+	net.OnDeliver(func(p *netsim.Packet, _ sim.Time) {
+		if p.Src == 0 || p.Dst == 0 {
+			seq = append(seq, p.Src)
+		}
+	})
+	pat := &Pattern{Name: "pairs", Dest: []int{1, 0, 3, 2}}
+	pp := PingPong{Pattern: pat, Rounds: 10}
+	pp.Start(net)
+	net.Engine().Run()
+	if len(seq) != 20 {
+		t.Fatalf("pair 0-1 exchanged %d packets, want 20", len(seq))
+	}
+}
+
+func TestPingPongTotalCount(t *testing.T) {
+	net := elecnet.NewIdeal(64, 0)
+	count := 0
+	net.OnDeliver(func(*netsim.Packet, sim.Time) { count++ })
+	pp := PingPong{Pattern: PingPongPairs1(64, 2), Rounds: 7}
+	pp.Start(net)
+	net.Engine().Run()
+	if count != 64*7 {
+		t.Errorf("delivered %d, want %d", count, 64*7)
+	}
+}
+
+func TestPingPongCustomSize(t *testing.T) {
+	net := elecnet.NewIdeal(4, 0)
+	var size int
+	net.OnDeliver(func(p *netsim.Packet, _ sim.Time) { size = p.Size })
+	pat := &Pattern{Name: "pairs", Dest: []int{1, 0, -1, -1}}
+	pp := PingPong{Pattern: pat, Rounds: 1, PacketSize: 128}
+	pp.Start(net)
+	net.Engine().Run()
+	if size != 128 {
+		t.Errorf("packet size = %d, want 128", size)
+	}
+}
+
+func TestPatternNodes(t *testing.T) {
+	if got := Hotspot(17, 3).Nodes(); got != 17 {
+		t.Errorf("Nodes = %d", got)
+	}
+}

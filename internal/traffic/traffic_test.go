@@ -1,0 +1,177 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"baldur/internal/sim"
+)
+
+func TestRandomPermutationValid(t *testing.T) {
+	p := RandomPermutation(256, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must be a permutation: all destinations distinct.
+	seen := make(map[int]bool)
+	for _, d := range p.Dest {
+		if seen[d] {
+			t.Fatalf("destination %d repeated", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestRandomPermutationNoFixedPointsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := RandomPermutation(64, seed)
+		for src, dst := range p.Dest {
+			if src == dst {
+				return false
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose(1024) // 10 bits, swap halves of 5
+	// Node 0b1111100000 -> 0b0000011111.
+	if got := p.Dest[0b1111100000]; got != 0b0000011111 {
+		t.Errorf("transpose(0b1111100000) = %#b", got)
+	}
+	// Diagonal nodes do not transmit.
+	if p.Dest[0] != -1 {
+		t.Errorf("diagonal node 0 transmits to %d", p.Dest[0])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Transpose is an involution where defined.
+	for src, dst := range p.Dest {
+		if dst == -1 {
+			continue
+		}
+		if back := p.Dest[dst]; back != src {
+			t.Fatalf("transpose not involutive: %d -> %d -> %d", src, dst, back)
+		}
+	}
+}
+
+func TestBisectionCrossesHalves(t *testing.T) {
+	p := Bisection(128, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for src, dst := range p.Dest {
+		if (src < 64) == (dst < 64) {
+			t.Fatalf("pair %d->%d does not cross the bisection", src, dst)
+		}
+		if p.Dest[dst] != src {
+			t.Fatalf("bisection pairing not symmetric at %d", src)
+		}
+	}
+}
+
+func TestGroupPermutation(t *testing.T) {
+	p := GroupPermutation(1024, 32, 5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every node in group g must send into one common partner group != g.
+	for g := 0; g < 32; g++ {
+		partner := -1
+		for k := 0; k < 32; k++ {
+			dst := p.Dest[g*32+k]
+			dg := dst / 32
+			if dg == g {
+				t.Fatalf("group %d sends to itself", g)
+			}
+			if partner == -1 {
+				partner = dg
+			} else if dg != partner {
+				t.Fatalf("group %d sends to groups %d and %d", g, partner, dg)
+			}
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	p := Hotspot(64, 7)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dest[7] != -1 {
+		t.Error("hotspot target transmits")
+	}
+	for src, dst := range p.Dest {
+		if src != 7 && dst != 7 {
+			t.Fatalf("node %d sends to %d, want 7", src, dst)
+		}
+	}
+}
+
+func TestPingPongPairs(t *testing.T) {
+	for _, p := range []*Pattern{
+		PingPongPairs1(128, 9),
+		PingPongPairs2(1024, 32, 9),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for src, dst := range p.Dest {
+			if dst == -1 {
+				continue
+			}
+			if p.Dest[dst] != src {
+				t.Fatalf("%s: pairing not symmetric at %d", p.Name, src)
+			}
+		}
+	}
+}
+
+func TestPingPong2CrossGroup(t *testing.T) {
+	p := PingPongPairs2(256, 32, 4)
+	active := 0
+	var ga, gb = -1, -1
+	for src, dst := range p.Dest {
+		if dst == -1 {
+			continue
+		}
+		active++
+		g := src / 32
+		if ga == -1 {
+			ga = g
+		} else if g != ga && gb == -1 {
+			gb = g
+		} else if g != ga && g != gb {
+			t.Fatalf("more than two groups active")
+		}
+	}
+	if active != 64 {
+		t.Errorf("active nodes = %d, want 64 (two groups)", active)
+	}
+}
+
+func TestMeanInterval(t *testing.T) {
+	// Eq 1: 512 B at load 0.7 on 25 Gbps: 4096/(0.7*25e9) s = 234.06 ns.
+	got := MeanInterval(512, 0.7, 25e9)
+	want := sim.Nanoseconds(234.057)
+	if diff := got - want; diff < -sim.Picosecond || diff > sim.Picosecond {
+		t.Errorf("MeanInterval = %v, want ~%v", got, want)
+	}
+}
+
+func TestValidateCatchesBadPatterns(t *testing.T) {
+	bad := &Pattern{Name: "bad", Dest: []int{1, 99}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	self := &Pattern{Name: "self", Dest: []int{0, 0}}
+	if self.Validate() == nil {
+		t.Error("self-send accepted")
+	}
+}
