@@ -38,6 +38,7 @@ func rawDrop(b *testing.B, cfg core.Config) float64 {
 // randomized matchings versus a regular butterfly under the adversarial
 // transpose permutation.
 func BenchmarkAblationRandomWiring(b *testing.B) {
+	b.ReportAllocs()
 	var random, regular float64
 	for i := 0; i < b.N; i++ {
 		random = rawDrop(b, core.Config{Nodes: 256, Multiplicity: 4, Seed: 3})
@@ -51,6 +52,7 @@ func BenchmarkAblationRandomWiring(b *testing.B) {
 // BenchmarkAblationBEB compares goodput under hotspot congestion with and
 // without binary exponential backoff, at a fixed virtual-time horizon.
 func BenchmarkAblationBEB(b *testing.B) {
+	b.ReportAllocs()
 	run := func(disable bool) (delivered uint64) {
 		n, err := core.New(core.Config{Nodes: 64, Multiplicity: 2, Seed: 21, DisableBEB: disable})
 		if err != nil {
@@ -78,6 +80,7 @@ func BenchmarkAblationBEB(b *testing.B) {
 // BenchmarkAblationUGAL compares dragonfly minimal vs UGAL routing on the
 // adversarial group permutation.
 func BenchmarkAblationUGAL(b *testing.B) {
+	b.ReportAllocs()
 	run := func(routing string) float64 {
 		n, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: 2, Seed: 4, Routing: routing})
 		if err != nil {
@@ -108,6 +111,7 @@ func BenchmarkAblationUGAL(b *testing.B) {
 // BenchmarkAblationMultiplicity sweeps m at fixed load, reporting the
 // drop/latency trade-off that motivated Table V.
 func BenchmarkAblationMultiplicity(b *testing.B) {
+	b.ReportAllocs()
 	measure := func(m int) (dropPct, avgNS float64) {
 		n, err := core.New(core.Config{Nodes: 256, Multiplicity: m, Seed: 3})
 		if err != nil {
@@ -141,6 +145,7 @@ func BenchmarkAblationMultiplicity(b *testing.B) {
 // shortens serialization while the 1.5 ns per-stage switching is unchanged,
 // so zero-load latency approaches the pure propagation floor.
 func BenchmarkLinkRateHeadroom(b *testing.B) {
+	b.ReportAllocs()
 	measure := func(rate float64) float64 {
 		n, err := core.New(core.Config{Nodes: 256, Seed: 3, LinkRate: rate})
 		if err != nil {

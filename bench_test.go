@@ -31,6 +31,7 @@ func benchScale() exp.Scale {
 // BenchmarkTable5 regenerates Table V: drop rate, gate count and latency
 // versus path multiplicity (transpose pattern, load 0.7).
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	var rows []exp.Table5Row
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -48,6 +49,7 @@ func BenchmarkTable5(b *testing.B) {
 // benchFig6Pattern regenerates one Fig 6 panel: average/tail latency versus
 // load for every network.
 func benchFig6Pattern(b *testing.B, pattern string) {
+	b.ReportAllocs()
 	var res []exp.Fig6Result
 	loads := []float64{0.3, 0.7}
 	for i := 0; i < b.N; i++ {
@@ -93,6 +95,7 @@ func BenchmarkFig6GroupPermutation(b *testing.B) { benchFig6Pattern(b, "group_pe
 // workloads, reporting the cross-workload geomean slowdowns of the two
 // strongest baselines relative to Baldur.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	var rows []exp.Fig7Row
 	sc := benchScale()
 	sc.PacketsPerNode = 40
@@ -124,6 +127,7 @@ func BenchmarkFig7(b *testing.B) {
 
 // BenchmarkFig8 regenerates the power-versus-scale sweep.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	var rows []power.Fig8Row
 	for i := 0; i < b.N; i++ {
 		rows = power.Fig8()
@@ -138,6 +142,7 @@ func BenchmarkFig8(b *testing.B) {
 
 // BenchmarkFig9 regenerates the switch-power sensitivity analysis at 1M.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	var rows []power.Fig9Row
 	for i := 0; i < b.N; i++ {
 		rows = power.Fig9()
@@ -150,6 +155,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkFig10 regenerates the cost-versus-scale sweep.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	var at1K, at1M cost.Breakdown
 	for i := 0; i < b.N; i++ {
 		at1K = cost.Baldur(1024)
@@ -163,6 +169,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkDropModel regenerates the Sec IV-E worst-case wave analysis at a
 // 64K-node scale.
 func BenchmarkDropModel(b *testing.B) {
+	b.ReportAllocs()
 	var r dropmodel.Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -176,6 +183,7 @@ func BenchmarkDropModel(b *testing.B) {
 
 // BenchmarkReliability regenerates the Sec IV-F Monte-Carlo decode check.
 func BenchmarkReliability(b *testing.B) {
+	b.ReportAllocs()
 	var errors, bits int
 	for i := 0; i < b.N; i++ {
 		errors, bits = reliability.MonteCarloDecode(20000, 8, 0.875, uint64(i))
@@ -187,6 +195,7 @@ func BenchmarkReliability(b *testing.B) {
 
 // BenchmarkPackaging regenerates the Sec IV-G cabinet arithmetic.
 func BenchmarkPackaging(b *testing.B) {
+	b.ReportAllocs()
 	var plan packaging.Plan
 	for i := 0; i < b.N; i++ {
 		plan = packaging.PlanFor(1 << 20)
@@ -198,22 +207,25 @@ func BenchmarkPackaging(b *testing.B) {
 // BenchmarkBaldurSimulator measures raw simulator throughput
 // (packets simulated per second of wall time).
 func BenchmarkBaldurSimulator(b *testing.B) {
-	sc := benchScale()
 	b.ReportAllocs()
+	sc := benchScale()
 	totalPackets := 0
+	var totalEvents uint64
 	for i := 0; i < b.N; i++ {
 		p, err := exp.RunOpenLoop("baldur", "random_permutation", 0.7, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = p
+		totalEvents += p.Events
 		totalPackets += sc.Nodes * sc.PacketsPerNode
 	}
 	b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkGateCounts keeps the Table V device model honest.
 func BenchmarkGateCounts(b *testing.B) {
+	b.ReportAllocs()
 	var g int
 	for i := 0; i < b.N; i++ {
 		for m := 1; m <= 5; m++ {
@@ -247,6 +259,7 @@ func BenchmarkSwitchCircuit(b *testing.B) {
 // BenchmarkDropModel1M runs the worst-case wave at the full million-node
 // scale — the workload the paper's in-house tool was built for.
 func BenchmarkDropModel1M(b *testing.B) {
+	b.ReportAllocs()
 	if testing.Short() {
 		b.Skip("1M-node wave in -short mode")
 	}

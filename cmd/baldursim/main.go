@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"baldur/internal/exp"
+	"baldur/internal/prof"
 	"baldur/internal/sim"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	sc := exp.Scale{
 		Name:           "cli",
@@ -68,6 +70,7 @@ func main() {
 	fmt.Printf("avg latency:  %10.1f ns\n", p.AvgNS)
 	fmt.Printf("p99 latency:  %10.1f ns\n", p.TailNS)
 	fmt.Printf("drop rate:    %10.3f %%\n", p.DropRate*100)
+	fmt.Printf("events:       %10d\n", p.Events)
 	if !p.Finished {
 		fmt.Println("warning: run hit the virtual-time safety horizon before draining")
 	}

@@ -1,0 +1,175 @@
+// Command benchjson runs the simulator's headline benchmarks and writes the
+// results as machine-readable JSON (BENCH_sim.json by default), for use as a
+// performance-regression baseline in CI or before/after comparisons during
+// optimization work.
+//
+//	benchjson                  # writes BENCH_sim.json
+//	benchjson -out -           # JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"baldur/internal/exp"
+	"baldur/internal/sim"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	AllocsOp   int64              `json:"allocs_per_op"`
+	BytesOp    int64              `json:"bytes_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	benchmarks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"engine_schedule_dispatch_closure", benchEngineClosure},
+		{"engine_schedule_dispatch_typed", benchEngineTyped},
+		{"fig6_transpose", benchFig6Transpose},
+		{"baldur_simulator", benchBaldurSimulator},
+	}
+
+	rep := report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Benchmarks: make([]result, 0, len(benchmarks))}
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		res := result{
+			Name:       bm.name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp:   r.AllocsPerOp(),
+			BytesOp:    r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = r.Extra
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-36s %12.1f ns/op %8d allocs/op\n", bm.name, res.NsPerOp, res.AllocsOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// benchEngineClosure mirrors BenchmarkEngineScheduleDispatch in
+// internal/sim: a self-rescheduling closure with 1000 events in flight.
+func benchEngineClosure(b *testing.B) {
+	e := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		if n < b.N {
+			n++
+			e.After(sim.Duration(rng.Intn(1000)+1), fn)
+		}
+	}
+	for i := 0; i < 1000 && n < b.N; i++ {
+		n++
+		e.At(sim.Time(rng.Intn(1000)), fn)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// jsonEvent is the typed-path analogue: one event rescheduling itself.
+type jsonEvent struct {
+	rng *sim.RNG
+	n   int
+	max int
+}
+
+func (ev *jsonEvent) Run(e *sim.Engine) {
+	if ev.n < ev.max {
+		ev.n++
+		e.ScheduleAfter(sim.Duration(ev.rng.Intn(1000)+1), ev)
+	}
+}
+
+func benchEngineTyped(b *testing.B) {
+	e := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	ev := &jsonEvent{rng: rng, max: b.N}
+	for i := 0; i < 1000 && ev.n < b.N; i++ {
+		ev.n++
+		e.Schedule(sim.Time(rng.Intn(1000)), ev)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func benchScale() exp.Scale {
+	sc := exp.Quick
+	sc.PacketsPerNode = 60
+	return sc
+}
+
+func benchFig6Transpose(b *testing.B) {
+	loads := []float64{0.3, 0.7}
+	var res []exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Fig6(benchScale(), []string{"transpose"}, loads, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res[0].Points {
+		if p.Network == "baldur" && p.Load == 0.7 {
+			b.ReportMetric(p.AvgNS, "baldur_avg_ns@0.7")
+		}
+	}
+}
+
+func benchBaldurSimulator(b *testing.B) {
+	sc := benchScale()
+	totalPackets := 0
+	var totalEvents uint64
+	for i := 0; i < b.N; i++ {
+		p, err := exp.RunOpenLoop("baldur", "random_permutation", 0.7, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += p.Events
+		totalPackets += sc.Nodes * sc.PacketsPerNode
+	}
+	b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"baldur/internal/exp"
+	"baldur/internal/prof"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	var sc exp.Scale
 	switch *scale {

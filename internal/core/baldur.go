@@ -169,6 +169,11 @@ type Network struct {
 	ackDur    sim.Duration
 	rto       sim.Duration
 
+	// Free lists: steady-state packet flow allocates no events, and ACK
+	// packets (which never escape the protocol) are recycled too.
+	evFree  *coreEvent
+	ackFree []*netsim.Packet
+
 	// dbgDrop, when non-nil, observes every drop (testing hook).
 	dbgDrop func(p *netsim.Packet, stage int)
 
@@ -304,7 +309,7 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 // anywhere (used by harnesses to decide when a run has drained).
 func (n *Network) Pending() bool {
 	for _, nc := range n.nics {
-		if len(nc.queue) > 0 || len(nc.outstanding) > 0 {
+		if nc.queueLen() > 0 || len(nc.outstanding) > 0 {
 			return true
 		}
 	}
@@ -366,9 +371,7 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	}
 	// sw is now the destination node id; last bit lands after the output
 	// host link plus the serialization time.
-	dst := int(sw)
-	deliverAt := t.Add(n.cfg.LinkDelay + dur)
-	n.eng.At(deliverAt, func() { n.nics[dst].receive(p, deliverAt) })
+	n.schedule(t.Add(n.cfg.LinkDelay+dur), evReceive, n.nics[sw], p, 0, 0)
 }
 
 // routeBit returns the output direction for packet p at stage s: a
@@ -388,6 +391,7 @@ func (n *Network) drop(p *netsim.Packet, stage int) {
 	}
 	if p.Ack {
 		n.Stats.AckDrops++
+		n.releaseAck(p)
 		return
 	}
 	n.Stats.DataDrops++

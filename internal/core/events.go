@@ -1,0 +1,83 @@
+package core
+
+import (
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// coreEvent is the pooled payload of every per-packet event the Baldur
+// model schedules: the backoff-delayed transmit, the head-of-packet network
+// traversal, the retransmission timeout and the destination receive. One
+// struct with a kind tag (instead of one type per kind) keeps the free list
+// simple; steady-state packet flow allocates no events.
+type coreEvent struct {
+	kind    uint8
+	nic     *nic // transmit/timeout: the sender; receive: the destination
+	p       *netsim.Packet
+	seq     uint64 // timeout: sequence the timer guards
+	attempt int    // timeout: attempt the timer belongs to
+	next    *coreEvent
+}
+
+const (
+	evTransmit = iota // put p on the sender's injection wire
+	evTraverse        // p's head reached stage 0: resolve the optical path
+	evTimeout         // RTO expired for (seq, attempt)
+	evReceive         // p's last bit reached the destination NIC
+)
+
+func (ev *coreEvent) Run(e *sim.Engine) {
+	kind, c, p, seq, attempt := ev.kind, ev.nic, ev.p, ev.seq, ev.attempt
+	n := c.net
+	ev.nic, ev.p = nil, nil
+	ev.next = n.evFree
+	n.evFree = ev
+	switch kind {
+	case evTransmit:
+		c.transmit(p)
+	case evTraverse:
+		n.traverse(p, e.Now())
+	case evTimeout:
+		c.timeout(seq, attempt)
+	case evReceive:
+		c.receive(p, e.Now())
+	}
+}
+
+// schedule enqueues a pooled event at absolute time t.
+func (n *Network) schedule(t sim.Time, kind uint8, c *nic, p *netsim.Packet, seq uint64, attempt int) {
+	ev := n.evFree
+	if ev != nil {
+		n.evFree = ev.next
+	} else {
+		ev = &coreEvent{}
+	}
+	ev.kind, ev.nic, ev.p, ev.seq, ev.attempt = kind, c, p, seq, attempt
+	n.eng.Schedule(t, ev)
+}
+
+// Run is the NIC's wire-free event: the tail of the previous packet has
+// left the injection wire. The sending flag guarantees at most one pending
+// instance per NIC, so the NIC itself is the event.
+func (c *nic) Run(*sim.Engine) {
+	c.sending = false
+	c.pump()
+}
+
+// acquireAck returns a reset ACK packet from the pool. ACKs never surface
+// through OnDeliver and are consumed by the protocol at both possible ends
+// of their life (sender receive or in-network drop), so unlike data packets
+// they can be recycled safely.
+func (n *Network) acquireAck() *netsim.Packet {
+	if last := len(n.ackFree) - 1; last >= 0 {
+		p := n.ackFree[last]
+		n.ackFree = n.ackFree[:last]
+		p.Reset()
+		return p
+	}
+	return &netsim.Packet{}
+}
+
+func (n *Network) releaseAck(p *netsim.Packet) {
+	n.ackFree = append(n.ackFree, p)
+}

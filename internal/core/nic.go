@@ -14,7 +14,13 @@ type nic struct {
 	id  int
 
 	// Transmit side. ACKs are prepended (control priority); data appends.
-	queue      []*netsim.Packet
+	// The queue is a two-ended structure so neither end allocates in
+	// steady state: qfront is a LIFO stack of prepended packets (its last
+	// element is the head of the queue) and qback a FIFO slice consumed
+	// via qhead, with the backing array reused once drained.
+	qfront     []*netsim.Packet
+	qback      []*netsim.Packet
+	qhead      int
 	sending    bool
 	wireFreeAt sim.Time
 	nextSeq    uint64
@@ -36,8 +42,31 @@ func newNIC(n *Network, id int) *nic {
 	}
 }
 
+func (c *nic) queueLen() int { return len(c.qfront) + len(c.qback) - c.qhead }
+
+func (c *nic) peekFront() *netsim.Packet {
+	if n := len(c.qfront); n > 0 {
+		return c.qfront[n-1]
+	}
+	return c.qback[c.qhead]
+}
+
+func (c *nic) popFront() {
+	if n := len(c.qfront); n > 0 {
+		c.qfront[n-1] = nil
+		c.qfront = c.qfront[:n-1]
+		return
+	}
+	c.qback[c.qhead] = nil
+	c.qhead++
+	if c.qhead == len(c.qback) {
+		c.qback = c.qback[:0]
+		c.qhead = 0
+	}
+}
+
 func (c *nic) enqueueData(p *netsim.Packet) {
-	c.queue = append(c.queue, p)
+	c.qback = append(c.qback, p)
 	if !c.net.cfg.DisableRetransmit {
 		c.outstanding[p.Seq] = p
 		c.retxBytes += p.Size
@@ -49,13 +78,13 @@ func (c *nic) enqueueData(p *netsim.Packet) {
 }
 
 func (c *nic) enqueueAckFront(p *netsim.Packet) {
-	c.queue = append([]*netsim.Packet{p}, c.queue...)
+	c.qfront = append(c.qfront, p)
 	c.pump()
 }
 
 // requeueFront schedules a retransmission at the head of the queue.
 func (c *nic) requeueFront(p *netsim.Packet) {
-	c.queue = append([]*netsim.Packet{p}, c.queue...)
+	c.qfront = append(c.qfront, p)
 	c.pump()
 }
 
@@ -70,13 +99,13 @@ func (c *nic) forget(p *netsim.Packet) {
 
 // pump starts transmitting the head-of-queue packet if the wire is free.
 func (c *nic) pump() {
-	if c.sending || len(c.queue) == 0 {
+	if c.sending || c.queueLen() == 0 {
 		return
 	}
-	p := c.queue[0]
+	p := c.peekFront()
 	if p.Acked {
 		// The ACK overtook the retransmission: discard silently.
-		c.queue = c.queue[1:]
+		c.popFront()
 		c.pump()
 		return
 	}
@@ -89,13 +118,13 @@ func (c *nic) pump() {
 		start = p.NotBefore // backoff window (head-of-line by design:
 		// BEB throttles the whole transmitter, Sec IV-E)
 	}
-	c.queue = c.queue[1:]
+	c.popFront()
 	c.sending = true
 	if start == now {
 		c.transmit(p)
 		return
 	}
-	c.net.eng.At(start, func() { c.transmit(p) })
+	c.net.schedule(start, evTransmit, c, p, 0, 0)
 }
 
 // transmit puts p on the injection wire at the current time.
@@ -118,18 +147,13 @@ func (c *nic) transmit(p *netsim.Packet) {
 	}
 	c.wireFreeAt = now.Add(dur + n.gap)
 	// The head reaches the first-stage switch after the host fiber.
-	headAt := now.Add(n.cfg.LinkDelay)
-	n.eng.At(headAt, func() { n.traverse(p, headAt) })
+	n.schedule(now.Add(n.cfg.LinkDelay), evTraverse, c, p, 0, 0)
 	// Local retransmission timer for data packets.
 	if !p.Ack && !n.cfg.DisableRetransmit {
-		seq, attempt := p.Seq, p.Retries
-		n.eng.At(now.Add(n.rto), func() { c.timeout(seq, attempt) })
+		n.schedule(now.Add(n.rto), evTimeout, c, nil, p.Seq, p.Retries)
 	}
 	// Wire becomes free: send the next queued packet.
-	n.eng.At(c.wireFreeAt, func() {
-		c.sending = false
-		c.pump()
-	})
+	n.eng.Schedule(c.wireFreeAt, c)
 }
 
 // timeout fires RTO after a transmission attempt; if the packet is still
@@ -166,6 +190,7 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 			src.forget(data)
 			n.Stats.AckLatency.Add(float64(at.Sub(data.Created).Nanoseconds()))
 		}
+		n.releaseAck(p)
 		return
 	}
 	if n.cfg.DisableRetransmit {
@@ -184,15 +209,14 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 	} else {
 		n.Stats.Duplicates++
 	}
-	ack := &netsim.Packet{
-		ID:      0, // ACKs are anonymous
-		Src:     c.id,
-		Dst:     p.Src,
-		Size:    n.cfg.AckSize,
-		Created: at,
-		Ack:     true,
-		AckFor:  p.Seq,
-	}
+	ack := n.acquireAck()
+	ack.ID = 0 // ACKs are anonymous
+	ack.Src = c.id
+	ack.Dst = p.Src
+	ack.Size = n.cfg.AckSize
+	ack.Created = at
+	ack.Ack = true
+	ack.AckFor = p.Seq
 	c.enqueueAckFront(ack)
 }
 

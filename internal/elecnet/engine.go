@@ -66,19 +66,41 @@ func (c *EngineConfig) slotsPerVC() int {
 	return per
 }
 
-// pktState is the in-network routing state of one packet.
+// pktState is the in-network routing state of one packet. States are
+// recycled through the engine's free list: a packet holds at most one
+// pending event at a time (link traversal or ejection), so the state doubles
+// as that event's payload and implements sim.Event directly.
 type pktState struct {
 	pkt *netsim.Packet
+	net *engine
 	// hop counts router hops taken so far; also selects the VC.
 	hop int
 	// holdRouter/holdIn identify the input buffer slot currently held
-	// (-1: still at the source NIC).
+	// (-1: still at the source NIC). While a link-traversal event is in
+	// flight they also name the event's target input port.
 	holdRouter int32
 	holdIn     int16
+	// eject marks the final pending event: deliver instead of arrive.
+	eject bool
 	// Dragonfly non-minimal state: the intermediate group (-1 if routing
 	// minimally) and whether it has been reached.
 	interGroup   int32
 	interReached bool
+	// nextFree links the engine's free list.
+	nextFree *pktState
+}
+
+// Run dispatches the packet's pending event: arrival at the input port the
+// state points at, or final delivery after ejection.
+func (st *pktState) Run(e *sim.Engine) {
+	n := st.net
+	if st.eject {
+		p := st.pkt
+		n.releaseState(st)
+		n.deliver(p, e.Now())
+		return
+	}
+	n.arrive(st.holdRouter, st.holdIn, st)
 }
 
 func (st *pktState) vc(nvc int) int {
@@ -106,7 +128,16 @@ type outPort struct {
 	peerIn    int16
 	node      int32 // destination node for ejection ports, else -1
 	scheduled bool
+	// Backrefs for the typed service event (set on first kick; the
+	// scheduled flag guarantees at most one pending event per port, so
+	// the port itself is the event).
+	net *engine
+	rtr *router
+	idx int32
 }
+
+// Run services the port (typed service event).
+func (p *outPort) Run(*sim.Engine) { p.net.servicePort(p.rtr, int(p.idx)) }
 
 // queueLen is the rough queue depth adaptive policies consult.
 func (p *outPort) queueLen() int { return p.queued }
@@ -127,6 +158,7 @@ type router struct {
 // input port through a credit-limited link.
 type enic struct {
 	id        int32
+	net       *engine
 	queue     []*pktState
 	busyUntil sim.Time
 	credits   []int
@@ -134,6 +166,36 @@ type enic struct {
 	edge      int32
 	edgeIn    int16
 	scheduled bool
+}
+
+// Run services the NIC (typed service event; the scheduled flag guarantees
+// at most one pending event per NIC, so the NIC itself is the event).
+func (nic *enic) Run(*sim.Engine) { nic.net.serviceNIC(nic) }
+
+// creditEvent returns one credit to an upstream NIC or router port after
+// the reverse-link delay. Instances are recycled through the engine's free
+// list.
+type creditEvent struct {
+	n    *engine
+	nic  *enic   // non-nil: NIC credit return
+	r    *router // else: router output port credit return
+	port int32
+	vc   int32
+	next *creditEvent
+}
+
+func (c *creditEvent) Run(*sim.Engine) {
+	n, nic, r, port, vc := c.n, c.nic, c.r, int(c.port), int(c.vc)
+	c.nic, c.r = nil, nil
+	c.next = n.credFree
+	n.credFree = c
+	if nic != nil {
+		nic.credits[vc]++
+		n.kickNIC(nic)
+		return
+	}
+	r.out[port].credits[vc]++
+	n.kickPort(r, port)
 }
 
 // routeFunc picks the output port for a packet at a router. It may mutate
@@ -152,10 +214,44 @@ type engine struct {
 	nextID    uint64
 	name      string
 
+	// Free lists: steady-state forwarding allocates neither routing
+	// state nor events.
+	stFree   *pktState
+	credFree *creditEvent
+
 	// Stats.
 	Injected  uint64
 	Delivered uint64
 	MaxHops   int
+}
+
+// acquireState returns a reset pktState from the pool.
+func (n *engine) acquireState(p *netsim.Packet) *pktState {
+	st := n.stFree
+	if st != nil {
+		n.stFree = st.nextFree
+		*st = pktState{pkt: p, net: n, holdRouter: -1, interGroup: -1}
+		return st
+	}
+	return &pktState{pkt: p, net: n, holdRouter: -1, interGroup: -1}
+}
+
+func (n *engine) releaseState(st *pktState) {
+	st.pkt = nil
+	st.nextFree = n.stFree
+	n.stFree = st
+}
+
+// scheduleCredit enqueues a pooled credit-return event at time t.
+func (n *engine) scheduleCredit(t sim.Time, nic *enic, r *router, port, vc int) {
+	c := n.credFree
+	if c != nil {
+		n.credFree = c.next
+	} else {
+		c = &creditEvent{}
+	}
+	c.n, c.nic, c.r, c.port, c.vc = n, nic, r, int32(port), int32(vc)
+	n.eng.Schedule(t, c)
 }
 
 func newEngine(cfg EngineConfig, name string, defaultVCs int) *engine {
@@ -189,7 +285,7 @@ func (n *engine) Send(src, dst, size int) *netsim.Packet {
 		Created: n.eng.Now(),
 	}
 	n.Injected++
-	st := &pktState{pkt: p, holdRouter: -1, interGroup: -1}
+	st := n.acquireState(p)
 	nic := n.nics[src]
 	nic.queue = append(nic.queue, st)
 	n.kickNIC(nic)
@@ -217,7 +313,7 @@ func (n *engine) kickNIC(nic *enic) {
 		return
 	}
 	nic.scheduled = true
-	n.eng.After(0, func() { n.serviceNIC(nic) })
+	n.eng.ScheduleAfter(0, nic)
 }
 
 func (n *engine) serviceNIC(nic *enic) {
@@ -226,7 +322,7 @@ func (n *engine) serviceNIC(nic *enic) {
 		now := n.eng.Now()
 		if nic.busyUntil > now {
 			nic.scheduled = true
-			n.eng.At(nic.busyUntil, func() { n.serviceNIC(nic) })
+			n.eng.Schedule(nic.busyUntil, nic)
 			return
 		}
 		st := nic.queue[0]
@@ -240,9 +336,8 @@ func (n *engine) serviceNIC(nic *enic) {
 		nic.busyUntil = now.Add(dur)
 		st.holdRouter = nic.edge
 		st.holdIn = nic.edgeIn
-		edge, edgeIn := nic.edge, nic.edgeIn
 		headAt := now.Add(nic.linkDelay + n.cfg.RouterLatency)
-		n.eng.At(headAt, func() { n.arrive(edge, edgeIn, st) })
+		n.eng.Schedule(headAt, st)
 	}
 }
 
@@ -273,8 +368,11 @@ func (n *engine) kickPort(r *router, out int) {
 	if port.scheduled {
 		return
 	}
+	if port.net == nil {
+		port.net, port.rtr, port.idx = n, r, int32(out)
+	}
 	port.scheduled = true
-	n.eng.After(0, func() { n.servicePort(r, out) })
+	n.eng.ScheduleAfter(0, port)
 }
 
 func (n *engine) servicePort(r *router, out int) {
@@ -284,7 +382,7 @@ func (n *engine) servicePort(r *router, out int) {
 		now := n.eng.Now()
 		if port.busyUntil > now {
 			port.scheduled = true
-			n.eng.At(port.busyUntil, func() { n.servicePort(r, out) })
+			n.eng.Schedule(port.busyUntil, port)
 			return
 		}
 		// Pick the next serviceable VC round-robin: non-empty and,
@@ -320,17 +418,15 @@ func (n *engine) servicePort(r *router, out int) {
 		}
 
 		if isEject {
-			p := st.pkt
-			deliverAt := port.busyUntil.Add(port.linkDelay)
-			n.eng.At(deliverAt, func() { n.deliver(p, deliverAt) })
+			st.eject = true
+			n.eng.Schedule(port.busyUntil.Add(port.linkDelay), st)
 			continue
 		}
 		port.credits[vc]--
 		st.holdRouter = port.peer
 		st.holdIn = port.peerIn
-		peer, peerIn := port.peer, port.peerIn
 		headAt := now.Add(port.linkDelay + n.cfg.RouterLatency)
-		n.eng.At(headAt, func() { n.arrive(peer, peerIn, st) })
+		n.eng.Schedule(headAt, st)
 	}
 }
 
@@ -352,18 +448,12 @@ func (n *engine) scheduleCreditReturn(rid int32, in int16, vc int, tailAt sim.Ti
 	feeder := r.in[in]
 	if feeder.feederRouter < 0 {
 		nic := n.nics[feeder.feederPort]
-		n.eng.At(tailAt.Add(nic.linkDelay), func() {
-			nic.credits[vc]++
-			n.kickNIC(nic)
-		})
+		n.scheduleCredit(tailAt.Add(nic.linkDelay), nic, nil, 0, vc)
 		return
 	}
 	up := n.routers[feeder.feederRouter]
 	upPort := int(feeder.feederPort)
-	n.eng.At(tailAt.Add(up.out[upPort].linkDelay), func() {
-		up.out[upPort].credits[vc]++
-		n.kickPort(up, upPort)
-	})
+	n.scheduleCredit(tailAt.Add(up.out[upPort].linkDelay), nil, up, upPort, vc)
 }
 
 func (n *engine) deliver(p *netsim.Packet, at sim.Time) {
@@ -398,6 +488,7 @@ func (n *engine) connectEject(a int32, ap int, node int32, delay sim.Duration) {
 func (n *engine) connectNIC(node int32, b int32, bp int, delay sim.Duration) {
 	nic := &enic{
 		id:        node,
+		net:       n,
 		credits:   n.newCredits(),
 		linkDelay: delay,
 		edge:      b,

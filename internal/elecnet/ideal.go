@@ -13,9 +13,29 @@ type Ideal struct {
 	latency   sim.Duration
 	onDeliver []func(*netsim.Packet, sim.Time)
 	nextID    uint64
+	evFree    *idealEvent
 
 	Injected  uint64
 	Delivered uint64
+}
+
+// idealEvent is the pooled delivery event of one in-flight packet.
+type idealEvent struct {
+	n    *Ideal
+	p    *netsim.Packet
+	next *idealEvent
+}
+
+func (ev *idealEvent) Run(e *sim.Engine) {
+	n, p := ev.n, ev.p
+	ev.p = nil
+	ev.next = n.evFree
+	n.evFree = ev
+	n.Delivered++
+	at := e.Now()
+	for _, fn := range n.onDeliver {
+		fn(p, at)
+	}
 }
 
 // NewIdeal builds an ideal network with the given node count. Latency 0
@@ -43,12 +63,13 @@ func (n *Ideal) Send(src, dst, size int) *netsim.Packet {
 	n.nextID++
 	p := &netsim.Packet{ID: n.nextID, Src: src, Dst: dst, Size: size, Created: n.eng.Now()}
 	n.Injected++
-	at := n.eng.Now().Add(n.latency)
-	n.eng.At(at, func() {
-		n.Delivered++
-		for _, fn := range n.onDeliver {
-			fn(p, at)
-		}
-	})
+	ev := n.evFree
+	if ev != nil {
+		n.evFree = ev.next
+	} else {
+		ev = &idealEvent{n: n}
+	}
+	ev.p = p
+	n.eng.ScheduleAfter(n.latency, ev)
 	return p
 }

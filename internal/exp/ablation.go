@@ -32,10 +32,10 @@ type AblationRow struct {
 	Comments string
 }
 
-// Ablations runs the full suite at the given scale.
+// Ablations runs the full suite at the given scale. The five ablations are
+// independent simulations, so they fan out through the shared worker pool;
+// the returned rows keep the fixed order above.
 func Ablations(sc Scale) ([]AblationRow, error) {
-	var rows []AblationRow
-
 	// 1. Wiring randomization (raw drop rate, transpose @0.7).
 	drop := func(regular bool) (float64, error) {
 		n, err := core.New(core.Config{
@@ -53,20 +53,22 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 		n.Engine().RunUntil(sc.maxSim())
 		return n.Stats.DataDropRate() * 100, nil
 	}
-	randomPct, err := drop(false)
-	if err != nil {
-		return nil, err
+	wiringJob := func() (AblationRow, error) {
+		randomPct, err := drop(false)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		regularPct, err := drop(true)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Name: "wiring", Variant: "random vs regular butterfly",
+			MetricA: "random drop%", ValueA: randomPct,
+			MetricB: "regular drop%", ValueB: regularPct,
+			Comments: "transpose @0.7: expansion makes worst-case permutations benign",
+		}, nil
 	}
-	regularPct, err := drop(true)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Name: "wiring", Variant: "random vs regular butterfly",
-		MetricA: "random drop%", ValueA: randomPct,
-		MetricB: "regular drop%", ValueB: regularPct,
-		Comments: "transpose @0.7: expansion makes worst-case permutations benign",
-	})
 
 	// 2. BEB (goodput at a fixed horizon under hotspot).
 	beb := func(disable bool) (float64, error) {
@@ -84,20 +86,22 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 		n.Engine().RunUntil(sim.Time(2 * sim.Millisecond))
 		return float64(n.Stats.Delivered), nil
 	}
-	withBEB, err := beb(false)
-	if err != nil {
-		return nil, err
+	bebJob := func() (AblationRow, error) {
+		withBEB, err := beb(false)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		withoutBEB, err := beb(true)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Name: "beb", Variant: "backoff on vs off",
+			MetricA: "goodput with", ValueA: withBEB,
+			MetricB: "goodput without", ValueB: withoutBEB,
+			Comments: "hotspot @0.7, 2 ms horizon: BEB prevents congestion collapse",
+		}, nil
 	}
-	withoutBEB, err := beb(true)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Name: "beb", Variant: "backoff on vs off",
-		MetricA: "goodput with", ValueA: withBEB,
-		MetricB: "goodput without", ValueB: withoutBEB,
-		Comments: "hotspot @0.7, 2 ms horizon: BEB prevents congestion collapse",
-	})
 
 	// 3. Dragonfly routing.
 	dfly := func(routing string) (float64, error) {
@@ -118,20 +122,22 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 		n.Engine().RunUntil(sc.maxSim())
 		return c.AvgNS(), nil
 	}
-	ugalNS, err := dfly("ugal")
-	if err != nil {
-		return nil, err
+	dflyJob := func() (AblationRow, error) {
+		ugalNS, err := dfly("ugal")
+		if err != nil {
+			return AblationRow{}, err
+		}
+		minimalNS, err := dfly("minimal")
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Name: "dragonfly-routing", Variant: "ugal vs minimal",
+			MetricA: "ugal avg ns", ValueA: ugalNS,
+			MetricB: "minimal avg ns", ValueB: minimalNS,
+			Comments: "group permutation @0.7: the baseline needs its adaptivity",
+		}, nil
 	}
-	minimalNS, err := dfly("minimal")
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Name: "dragonfly-routing", Variant: "ugal vs minimal",
-		MetricA: "ugal avg ns", ValueA: ugalNS,
-		MetricB: "minimal avg ns", ValueB: minimalNS,
-		Comments: "group permutation @0.7: the baseline needs its adaptivity",
-	})
 
 	// 4. Multiplicity (latency with the protocol on).
 	mult := func(m int) (float64, error) {
@@ -149,20 +155,22 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 		n.Engine().RunUntil(sc.maxSim())
 		return c.AvgNS(), nil
 	}
-	m1NS, err := mult(1)
-	if err != nil {
-		return nil, err
+	multJob := func() (AblationRow, error) {
+		m1NS, err := mult(1)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		m4NS, err := mult(4)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Name: "multiplicity", Variant: "m=1 vs m=4",
+			MetricA: "m1 avg ns", ValueA: m1NS,
+			MetricB: "m4 avg ns", ValueB: m4NS,
+			Comments: "transpose @0.7 with retransmission: drops dominate at m=1",
+		}, nil
 	}
-	m4NS, err := mult(4)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Name: "multiplicity", Variant: "m=1 vs m=4",
-		MetricA: "m1 avg ns", ValueA: m1NS,
-		MetricB: "m4 avg ns", ValueB: m4NS,
-		Comments: "transpose @0.7 with retransmission: drops dominate at m=1",
-	})
 
 	// 5. Link-rate headroom.
 	rate := func(bps float64) (float64, error) {
@@ -180,20 +188,36 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 		n.Engine().RunUntil(sc.maxSim())
 		return c.AvgNS(), nil
 	}
-	at25, err := rate(25e9)
-	if err != nil {
-		return nil, err
+	rateJob := func() (AblationRow, error) {
+		at25, err := rate(25e9)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		at400, err := rate(400e9)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Name: "link-rate", Variant: "25G vs 400G",
+			MetricA: "avg ns @25G", ValueA: at25,
+			MetricB: "avg ns @400G", ValueB: at400,
+			Comments: "switching stays 1.5 ns/stage; latency approaches the 200 ns fiber floor",
+		}, nil
 	}
-	at400, err := rate(400e9)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Name: "link-rate", Variant: "25G vs 400G",
-		MetricA: "avg ns @25G", ValueA: at25,
-		MetricB: "avg ns @400G", ValueB: at400,
-		Comments: "switching stays 1.5 ns/stage; latency approaches the 200 ns fiber floor",
+
+	jobs := []func() (AblationRow, error){wiringJob, bebJob, dflyJob, multJob, rateJob}
+	rows := make([]AblationRow, len(jobs))
+	err := runParallel(len(jobs), func(i int) error {
+		r, err := jobs[i]()
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 

@@ -1,0 +1,86 @@
+package exp
+
+import "testing"
+
+// goldPoint pins the exact statistics a seeded Quick-scale run must
+// reproduce. The values were captured from the reference implementation and
+// must match bit-for-bit: the event engine guarantees that a given seed
+// yields one execution order (FIFO among equal-time events, preserved
+// through event pooling and heap layout changes), so any drift here means a
+// scheduling or model change, not noise.
+type goldPoint struct {
+	network string
+	avgNS   float64
+	tailNS  float64
+	drop    float64
+}
+
+var goldTranspose07 = []goldPoint{
+	{"baldur", 612.47288535714324, 1570.1282249416706, 0},
+	{"multibutterfly", 1148.1346878571437, 1933.0545923721088, 0},
+	{"dragonfly", 2744.4847314285585, 8480.8902561085633, 0},
+	{"fattree", 1142.0386993333311, 2379.8693620896543, 0},
+	{"ideal", 200, 200.85352906156825, 0},
+}
+
+var goldRandomPerm05 = []goldPoint{
+	{"baldur", 469.24622734375055, 966.5272961860544, 0.00046823786483533636},
+	{"multibutterfly", 1038.2838275000001, 1464.9814348137045, 0},
+	{"dragonfly", 1313.4045463888863, 5467.5040426804617, 0},
+	{"fattree", 1058.7279594444465, 1803.6037091249129, 0},
+	{"ideal", 200, 200.85352906156825, 0},
+}
+
+func checkGold(t *testing.T, label string, p Point, g goldPoint) {
+	t.Helper()
+	if p.AvgNS != g.avgNS || p.TailNS != g.tailNS || p.DropRate != g.drop {
+		t.Errorf("%s %s: got avg=%.17g tail=%.17g drop=%.17g, want avg=%.17g tail=%.17g drop=%.17g",
+			label, g.network, p.AvgNS, p.TailNS, p.DropRate, g.avgNS, g.tailNS, g.drop)
+	}
+	if p.Events == 0 {
+		t.Errorf("%s %s: Events not recorded", label, g.network)
+	}
+}
+
+// TestSeededReplayGolden re-runs seeded Quick-scale experiments on every
+// network and requires bit-identical statistics.
+func TestSeededReplayGolden(t *testing.T) {
+	for _, g := range goldTranspose07 {
+		p, err := RunOpenLoop(g.network, "transpose", 0.7, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGold(t, "transpose@0.7", p, g)
+	}
+	for _, g := range goldRandomPerm05 {
+		p, err := RunOpenLoop(g.network, "random_permutation", 0.5, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGold(t, "random_permutation@0.5", p, g)
+	}
+	p, err := RunPingPong("baldur", "ping_pong1", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGold(t, "ping_pong1", p, goldPoint{"baldur", 373.13999999999999, 374.80593816208005, 0})
+}
+
+// TestSeededReplayRepeatable runs the same cell twice in one process and
+// requires identical results: event and packet pools must not leak state
+// between what should be independent instances.
+func TestSeededReplayRepeatable(t *testing.T) {
+	for _, net := range NetworkNames {
+		a, err := RunOpenLoop(net, "transpose", 0.7, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOpenLoop(net, "transpose", 0.7, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: two identical seeded runs diverged:\n  %+v\n  %+v", net, a, b)
+		}
+	}
+}

@@ -171,6 +171,7 @@ type Point struct {
 	TailNS   float64
 	DropRate float64 // Baldur only; 0 for lossless networks
 	Finished bool    // false if the safety horizon cut the run short
+	Events   uint64  // simulator events executed (throughput accounting)
 }
 
 // RunOpenLoop measures one (network, pattern, load) cell.
@@ -201,6 +202,7 @@ func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error)
 		AvgNS:    col.AvgNS(),
 		TailNS:   col.TailNS(),
 		Finished: !more,
+		Events:   inst.net.Engine().Executed,
 	}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
@@ -225,7 +227,7 @@ func RunPingPong(network, pattern string, sc Scale) (Point, error) {
 	pp.Start(inst.net)
 	more := inst.net.Engine().RunUntil(sc.maxSim())
 	drops, attempts := inst.stats()
-	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more}
+	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more, Events: inst.net.Engine().Executed}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
 	}

@@ -2,9 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"baldur/internal/awgr"
 	"baldur/internal/core"
@@ -145,28 +143,17 @@ func Fig6(sc Scale, patterns []string, loads []float64, networks []string) ([]Fi
 			}
 		}
 	}
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ci, c := range cells {
-		wg.Add(1)
-		go func(ci int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := RunOpenLoop(c.net, patterns[c.pat], c.load, sc)
-			if err != nil {
-				errs[ci] = fmt.Errorf("fig6 %s/%s@%.1f: %w", c.net, patterns[c.pat], c.load, err)
-				return
-			}
-			results[c.pat].Points[c.idx] = p
-		}(ci, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runParallel(len(cells), func(ci int) error {
+		c := cells[ci]
+		p, err := RunOpenLoop(c.net, patterns[c.pat], c.load, sc)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("fig6 %s/%s@%.1f: %w", c.net, patterns[c.pat], c.load, err)
 		}
+		results[c.pat].Points[c.idx] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -219,30 +206,26 @@ func Fig7(sc Scale, networks []string) ([]Fig7Row, error) {
 			out = append(out, res{wl: wi, net: ni})
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range out {
-		wg.Add(1)
-		go func(r *res) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			wl, netName := Fig7Workloads[r.wl], networks[r.net]
-			switch wl {
-			case "hotspot":
-				r.p, r.err = RunOpenLoop(netName, "hotspot", 0.7, sc)
-			case "ping_pong1", "ping_pong2":
-				r.p, r.err = RunPingPong(netName, wl, sc)
-			default:
-				r.p, r.err = RunTrace(netName, wl, sc)
-			}
-		}(&out[i])
-	}
-	wg.Wait()
-	for _, r := range out {
-		if r.err != nil {
-			return nil, fmt.Errorf("fig7 %s/%s: %w", networks[r.net], Fig7Workloads[r.wl], r.err)
+	err := runParallel(len(out), func(i int) error {
+		r := &out[i]
+		wl, netName := Fig7Workloads[r.wl], networks[r.net]
+		switch wl {
+		case "hotspot":
+			r.p, r.err = RunOpenLoop(netName, "hotspot", 0.7, sc)
+		case "ping_pong1", "ping_pong2":
+			r.p, r.err = RunPingPong(netName, wl, sc)
+		default:
+			r.p, r.err = RunTrace(netName, wl, sc)
 		}
+		if r.err != nil {
+			return fmt.Errorf("fig7 %s/%s: %w", netName, wl, r.err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range out {
 		rows[r.wl].Avg[networks[r.net]] = r.p.AvgNS
 		rows[r.wl].Tail[networks[r.net]] = r.p.TailNS
 	}

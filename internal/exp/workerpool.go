@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel runs fn(0), ..., fn(n-1) concurrently with at most GOMAXPROCS
+// in flight and returns the lowest-index error, if any. Every simulation
+// cell in the experiment harness is independent (its own network instance
+// and seeded RNGs), so the figure runners fan their cells out through this
+// one helper.
+func runParallel(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

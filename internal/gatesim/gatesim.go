@@ -41,13 +41,43 @@ type Config struct {
 
 // Circuit is a netlist under simulation.
 type Circuit struct {
-	cfg   Config
-	eng   *sim.Engine
-	rng   *sim.RNG
-	nodes []*node
+	cfg     Config
+	eng     *sim.Engine
+	rng     *sim.RNG
+	nodes   []*node
+	lvlFree *levelEvent
 
 	gateCount    int // active TL gates
 	passiveCount int // splitters, combiners, waveguide delays
+}
+
+// levelEvent is one pending output transition: drive out to level. Gate
+// simulations schedule one per transition, so they are recycled through the
+// circuit's free list.
+type levelEvent struct {
+	c     *Circuit
+	out   Node
+	level bool
+	next  *levelEvent
+}
+
+func (ev *levelEvent) Run(*sim.Engine) {
+	c, out, level := ev.c, ev.out, ev.level
+	ev.next = c.lvlFree
+	c.lvlFree = ev
+	c.setLevel(out, level)
+}
+
+// scheduleLevel enqueues a pooled transition event at absolute time t.
+func (c *Circuit) scheduleLevel(t sim.Time, out Node, level bool) {
+	ev := c.lvlFree
+	if ev != nil {
+		c.lvlFree = ev.next
+	} else {
+		ev = &levelEvent{c: c}
+	}
+	ev.out, ev.level = out, level
+	c.eng.Schedule(t, ev)
 }
 
 // Node identifies a wire in the circuit.
@@ -171,5 +201,5 @@ func (d *outputDriver) drive(level bool) {
 		t = now + 1
 	}
 	d.lastAt = t
-	d.c.eng.At(sim.Time(t), func() { d.c.setLevel(d.out, level) })
+	d.c.scheduleLevel(sim.Time(t), d.out, level)
 }

@@ -41,6 +41,11 @@ type Packet struct {
 	Acked bool
 }
 
+// Reset clears p for reuse. Networks that recycle packets whose lifetime
+// they fully control (e.g. Baldur ACKs, which never surface through
+// OnDeliver) call this when taking a packet from their pool.
+func (p *Packet) Reset() { *p = Packet{} }
+
 // Network is a simulated interconnect. Implementations are single-threaded:
 // all calls must happen from the owning goroutine, typically from within
 // engine events.

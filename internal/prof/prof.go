@@ -1,0 +1,58 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags into
+// the command-line tools so simulator hot paths can be inspected with
+// `go tool pprof` without a test harness.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpu = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = flag.String("memprofile", "", "write a heap profile to this file at exit")
+)
+
+// Start begins CPU profiling if -cpuprofile was given. Call it after
+// flag.Parse and defer the returned stop function; stop also writes the
+// heap profile if -memprofile was given.
+func Start() (stop func()) {
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeap()
+		}
+	}
+	return writeHeap
+}
+
+func writeHeap() {
+	if *mem == "" {
+		return
+	}
+	f, err := os.Create(*mem)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize accurate live-heap numbers
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

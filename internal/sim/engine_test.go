@@ -158,6 +158,107 @@ func TestEngineExecutedCount(t *testing.T) {
 	}
 }
 
+// TestEngineFIFOStress hammers the equal-time tie path with interleaved
+// closure (At/After) and typed (Schedule/ScheduleAfter) scheduling: many
+// events collapse onto few distinct timestamps, events reschedule onto the
+// time currently being dispatched, and the engine must still dispatch every
+// tie group in exact scheduling order despite event pooling and the
+// tie-batch drain in the heap.
+func TestEngineFIFOStress(t *testing.T) {
+	e := NewEngine()
+	rng := NewRNG(7)
+	var got []rec
+	seq := 0
+	schedule := func(t Time) {
+		s := seq
+		seq++
+		if s%2 == 0 {
+			e.At(t, func() { got = append(got, rec{e.Now(), s}) })
+		} else {
+			e.Schedule(t, recEvent{&got, s})
+		}
+	}
+	// Phase 1: 2000 events over only 8 distinct times, mixed APIs.
+	for i := 0; i < 2000; i++ {
+		schedule(Time(rng.Intn(8)))
+	}
+	// Phase 2: events that reschedule onto their own dispatch time (the new
+	// event must run after every already-queued event at that time).
+	for i := 0; i < 50; i++ {
+		at := Time(10 + rng.Intn(4))
+		s := seq
+		seq++
+		e.At(at, func() {
+			got = append(got, rec{e.Now(), s})
+			s2 := seq
+			seq++
+			e.Schedule(at, recEvent{&got, s2})
+		})
+	}
+	e.Run()
+	if len(got) != seq {
+		t.Fatalf("dispatched %d events, scheduled %d", len(got), seq)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time went backwards at %d: %+v after %+v", i, got[i], got[i-1])
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("FIFO violated within tie group at %d: seq %d after %d (t=%v)",
+				i, got[i].seq, got[i-1].seq, got[i].at)
+		}
+	}
+}
+
+type rec struct {
+	at  Time
+	seq int
+}
+
+type recEvent struct {
+	got *[]rec
+	seq int
+}
+
+func (r recEvent) Run(e *Engine) {
+	*r.got = append(*r.got, rec{e.Now(), r.seq})
+}
+
+// TestEngineClosureTypedEquivalent schedules the same workload once through
+// the closure API and once through the typed API and requires the identical
+// dispatch order: At/After are thin wrappers and must not perturb ordering.
+func TestEngineClosureTypedEquivalent(t *testing.T) {
+	run := func(typed bool) []int {
+		e := NewEngine()
+		rng := NewRNG(3)
+		var got []int
+		for i := 0; i < 500; i++ {
+			i := i
+			at := Time(rng.Intn(20))
+			if typed {
+				e.Schedule(at, orderEvent{&got, i})
+			} else {
+				e.At(at, func() { got = append(got, i) })
+			}
+		}
+		e.Run()
+		return got
+	}
+	closure, typed := run(false), run(true)
+	for i := range closure {
+		if closure[i] != typed[i] {
+			t.Fatalf("closure and typed paths diverge at %d: %d vs %d", i, closure[i], typed[i])
+		}
+	}
+}
+
+type orderEvent struct {
+	got *[]int
+	i   int
+}
+
+func (o orderEvent) Run(*Engine) { *o.got = append(*o.got, o.i) }
+
 func BenchmarkEngineScheduleDispatch(b *testing.B) {
 	e := NewEngine()
 	rng := NewRNG(1)
@@ -174,6 +275,36 @@ func BenchmarkEngineScheduleDispatch(b *testing.B) {
 	for i := 0; i < 1000 && n < b.N; i++ {
 		n++
 		e.At(Time(rng.Intn(1000)), fn)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// tbEvent is the typed-path analogue of the closure benchmark above: a
+// single event rescheduling itself, the steady-state pattern of the
+// converted network models.
+type tbEvent struct {
+	rng *RNG
+	n   int
+	max int
+}
+
+func (ev *tbEvent) Run(e *Engine) {
+	if ev.n < ev.max {
+		ev.n++
+		e.ScheduleAfter(Duration(ev.rng.Intn(1000)+1), ev)
+	}
+}
+
+func BenchmarkEngineScheduleDispatchTyped(b *testing.B) {
+	e := NewEngine()
+	rng := NewRNG(1)
+	b.ReportAllocs()
+	ev := &tbEvent{rng: rng, max: b.N}
+	// Keep 1000 events in flight, a realistic queue depth.
+	for i := 0; i < 1000 && ev.n < b.N; i++ {
+		ev.n++
+		e.Schedule(Time(rng.Intn(1000)), ev)
 	}
 	b.ResetTimer()
 	e.Run()

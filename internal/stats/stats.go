@@ -66,6 +66,10 @@ func (r *Running) Max() float64 { return r.max }
 type Histogram struct {
 	buckets map[int]int64
 	run     Running
+	// sorted caches the ascending bucket keys for quantile queries; it is
+	// valid while it has the same length as buckets (keys are never
+	// removed, so a stale cache can only be shorter).
+	sorted []int
 }
 
 // bucketsPerOctave controls the relative resolution of the histogram.
@@ -120,11 +124,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.run.Max()
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
+	if len(h.sorted) != len(h.buckets) {
+		h.sorted = h.sorted[:0]
+		for k := range h.buckets {
+			h.sorted = append(h.sorted, k)
+		}
+		sort.Ints(h.sorted)
 	}
-	sort.Ints(keys)
+	keys := h.sorted
 	// rank is 1-based: the ceil(q*n)-th smallest observation.
 	rank := int64(math.Ceil(q * float64(n)))
 	if rank < 1 {

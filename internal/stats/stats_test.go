@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -178,5 +179,50 @@ func TestHistogramString(t *testing.T) {
 	h.Add(1)
 	if s := h.String(); s == "" {
 		t.Error("empty String()")
+	}
+}
+
+// TestHistogramQuantileCacheInvalidation interleaves Add/Merge with Quantile
+// queries: the cached sorted-key slice must pick up buckets created after a
+// query, in both the Add and Merge paths.
+func TestHistogramQuantileCacheInvalidation(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if got := h.Quantile(0.5); got < 9 || got > 11 {
+		t.Fatalf("median of {10} = %g", got)
+	}
+	// New bucket far above the cached range: a stale cache would miss it.
+	for i := 0; i < 99; i++ {
+		h.Add(1e6)
+	}
+	if got := h.Quantile(0.99); got < 0.9e6 || got > 1.1e6 {
+		t.Errorf("p99 after Add = %g, want ~1e6 (stale key cache?)", got)
+	}
+	// Same through Merge.
+	var other Histogram
+	for i := 0; i < 10000; i++ {
+		other.Add(1e9)
+	}
+	h.Merge(&other)
+	if got := h.Quantile(0.99); got < 0.9e9 || got > 1.1e9 {
+		t.Errorf("p99 after Merge = %g, want ~1e9 (stale key cache?)", got)
+	}
+	// Adding to an existing bucket must not disturb the cache's validity.
+	h.Add(1e9)
+	if got := h.Quantile(0.99); got < 0.9e9 || got > 1.1e9 {
+		t.Errorf("p99 after same-bucket Add = %g, want ~1e9", got)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(100 + 1e6*rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
 	}
 }
