@@ -223,6 +223,30 @@ func BenchmarkBaldurSimulator(b *testing.B) {
 	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkBaldurSimulatorSharded runs the same workload as
+// BenchmarkBaldurSimulator across 8 conservative-parallel shards.
+// Statistics are bit-identical to the serial run; the packets/s ratio
+// between the two benchmarks is the parallel speedup on this machine.
+func BenchmarkBaldurSimulatorSharded(b *testing.B) {
+	b.ReportAllocs()
+	sc := benchScale()
+	sc.Shards = 8
+	totalPackets := 0
+	var totalEvents, totalEpochs uint64
+	for i := 0; i < b.N; i++ {
+		p, epochs, err := exp.RunOpenLoopEpochs("baldur", "random_permutation", 0.7, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += p.Events
+		totalEpochs += epochs
+		totalPackets += sc.Nodes * sc.PacketsPerNode
+	}
+	b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(totalEpochs)/b.Elapsed().Seconds(), "epochs/s")
+}
+
 // BenchmarkGateCounts keeps the Table V device model honest.
 func BenchmarkGateCounts(b *testing.B) {
 	b.ReportAllocs()

@@ -30,6 +30,7 @@ func main() {
 		ftK      = flag.Int("fattree-k", 16, "fat-tree radix k (nodes = k^3/4)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
+		shards   = flag.Int("shards", 0, "conservative-parallel shard count (0 or 1 = serial; statistics are identical for any value)")
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -43,6 +44,7 @@ func main() {
 		TraceIters:     (*packets + 99) / 100,
 		Seed:           *seed,
 		MaxSimTime:     sim.Duration(*maxMS * 1e9),
+		Shards:         *shards,
 	}
 
 	var (

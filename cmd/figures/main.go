@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"baldur/internal/exp"
@@ -26,8 +27,9 @@ func main() {
 		which = flag.String("exp", "all", "experiment: table4|table5|fig6|fig7|fig8|fig9|fig10|dropmodel|packaging|awgr|reliability|ablation|profile|all")
 		scale = flag.String("scale", "quick", "scale: quick|medium|full")
 		csv   = flag.Bool("csv", false, "emit CSV instead of tables (fig6/fig7 only)")
-		out   = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		shards = flag.Int("shards", -1, "conservative-parallel shards per simulation (-1: auto — GOMAXPROCS at full scale, serial otherwise; statistics are identical for any value)")
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -44,6 +46,15 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 	sc.Seed = *seed
+	switch {
+	case *shards >= 0:
+		sc.Shards = *shards
+	case *scale == "full":
+		// Full-scale runs are minutes of CPU per cell: spread each
+		// simulation across the machine by default. The results are
+		// bit-identical to a serial run.
+		sc.Shards = runtime.GOMAXPROCS(0)
+	}
 
 	emit := func(name, content string) {
 		fmt.Print(content)

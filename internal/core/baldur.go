@@ -80,6 +80,12 @@ type Config struct {
 	Wavelengths int
 	// Seed drives topology randomization and backoff draws.
 	Seed uint64
+	// Shards selects the parallel execution width: 0 or 1 runs serially;
+	// K >= 2 partitions the model into the optical fabric (one shard) plus
+	// K-1 contiguous NIC blocks, executed as a conservative PDES with the
+	// host link delay as lookahead. Statistics are bit-identical to the
+	// serial run for any K.
+	Shards int
 }
 
 func (c *Config) applyDefaults() error {
@@ -150,31 +156,35 @@ func (s *Stats) DataDropRate() float64 {
 	return float64(s.DataDrops) / float64(s.DataAttempts)
 }
 
-// Network is a Baldur network instance. It implements netsim.Network.
+// Network is a Baldur network instance. It implements netsim.Network and
+// netsim.Sharded.
 type Network struct {
 	cfg  Config
-	eng  *sim.Engine
+	se   *sim.ShardedEngine
 	mb   *topo.MultiButterfly
-	rng  *sim.RNG
 	nics []*nic
 
+	// shards[0] is the optical fabric (and, when serial, everything);
+	// shards[1..] hold NIC blocks. fab/fabEng/fabAct are shard 0's handles,
+	// used by traverse and the receive handoff.
+	shards []*coreShard
+	fab    *coreShard
+	fabEng *sim.Engine
+	fabAct sim.Actor
+
 	// busy[s][k*2m+d*m+p] is the time until which that output wire of
-	// switch k at stage s is carrying a packet.
+	// switch k at stage s is carrying a packet. Touched only by the fabric
+	// shard.
 	busy [][]sim.Time
 
 	onDeliver []func(*netsim.Packet, sim.Time)
-	nextID    uint64
 	gap       sim.Duration // inter-packet dark gap a wire needs (6T + margin)
 	duration  sim.Duration // data packet wire occupancy
 	ackDur    sim.Duration
 	rto       sim.Duration
 
-	// Free lists: steady-state packet flow allocates no events, and ACK
-	// packets (which never escape the protocol) are recycled too.
-	evFree  *coreEvent
-	ackFree []*netsim.Packet
-
-	// dbgDrop, when non-nil, observes every drop (testing hook).
+	// dbgDrop, when non-nil, observes every drop (testing hook; fabric
+	// shard only).
 	dbgDrop func(p *netsim.Packet, stage int)
 
 	// fault, when set, marks one switch as dropping everything
@@ -216,12 +226,7 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{
-		cfg: cfg,
-		eng: sim.NewEngine(),
-		mb:  mb,
-		rng: sim.NewRNG(cfg.Seed ^ 0xba1d0e),
-	}
+	n := &Network{cfg: cfg, mb: mb}
 	n.duration = sim.SerializationTime(cfg.PacketSize, cfg.LinkRate) + headerDuration(mb.Stages)
 	n.ackDur = sim.SerializationTime(cfg.AckSize, cfg.LinkRate) + headerDuration(mb.Stages)
 	// A wire must stay dark for 6T (the end-of-packet window of the line
@@ -244,9 +249,38 @@ func New(cfg Config) (*Network, error) {
 	}
 	n.Stats.DropsByStage = make([]uint64, mb.Stages)
 	n.testPath = -1
+
+	// Shard layout: serial runs use one shard aliasing n.Stats; parallel
+	// runs dedicate shard 0 to the fabric and spread NICs in contiguous
+	// blocks over shards 1..K-1. The lookahead is the host link delay —
+	// the minimum latency of every NIC<->fabric interaction.
+	k := cfg.Shards
+	if k < 2 {
+		k = 1
+	} else if k-1 > cfg.Nodes {
+		k = cfg.Nodes + 1
+	}
+	n.se = sim.NewShardedEngine(k, cfg.LinkDelay)
+	n.shards = make([]*coreShard, k)
+	for i := range n.shards {
+		st := &n.Stats
+		if k > 1 {
+			st = &Stats{DropsByStage: make([]uint64, mb.Stages)}
+		}
+		n.shards[i] = &coreShard{sh: n.se.Shard(i), stats: st}
+	}
+	n.fab = n.shards[0]
+	n.fabEng = n.fab.sh.Eng
+	n.fabAct = sim.MakeActor(1)
+
+	base := sim.NewRNG(cfg.Seed ^ 0xba1d0e)
 	n.nics = make([]*nic, cfg.Nodes)
 	for i := range n.nics {
-		n.nics[i] = newNIC(n, i)
+		shard := n.shards[0]
+		if k > 1 {
+			shard = n.shards[1+i*(k-1)/cfg.Nodes]
+		}
+		n.nics[i] = newNIC(n, i, shard, base.Fork(uint64(i)+1))
 	}
 	return n, nil
 }
@@ -258,8 +292,9 @@ func headerDuration(stages int) sim.Duration {
 	return sim.Duration(stages*slotPS) * sim.Picosecond
 }
 
-// Engine returns the simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine returns the simulation engine (shard 0's engine, which holds the
+// whole network when serial). Sharded runs are driven through Run instead.
+func (n *Network) Engine() *sim.Engine { return n.fabEng }
 
 // NumNodes returns the node count.
 func (n *Network) NumNodes() int { return n.cfg.Nodes }
@@ -289,18 +324,19 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 	if size <= 0 {
 		size = n.cfg.PacketSize
 	}
-	n.nextID++
 	nic := n.nics[src]
+	// IDs are per-source (high bits = src+1) so allocation is shard-local
+	// and the numbering is invariant to shard count.
 	p := &netsim.Packet{
-		ID:      n.nextID,
+		ID:      uint64(src+1)<<32 | (nic.nextSeq + 1),
 		Src:     src,
 		Dst:     dst,
 		Size:    size,
-		Created: n.eng.Now(),
+		Created: nic.eng.Now(),
 		Seq:     nic.nextSeq,
 	}
 	nic.nextSeq++
-	n.Stats.Injected++
+	nic.sh.stats.Injected++
 	nic.enqueueData(p)
 	return p
 }
@@ -326,9 +362,9 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	dur := n.duration
 	if p.Ack {
 		dur = n.ackDur
-		n.Stats.AckAttempts++
+		n.fab.stats.AckAttempts++
 	} else {
-		n.Stats.DataAttempts++
+		n.fab.stats.DataAttempts++
 	}
 	perStage := n.cfg.SwitchLatency + n.cfg.InterStageDelay
 	sw, _ := n.mb.InjectionSwitch(p.Src)
@@ -371,7 +407,7 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	}
 	// sw is now the destination node id; last bit lands after the output
 	// host link plus the serialization time.
-	n.schedule(t.Add(n.cfg.LinkDelay+dur), evReceive, n.nics[sw], p, 0, 0)
+	n.postReceive(t.Add(n.cfg.LinkDelay+dur), n.nics[sw], p)
 }
 
 // routeBit returns the output direction for packet p at stage s: a
@@ -385,21 +421,18 @@ func (n *Network) routeBit(p *netsim.Packet, s int) int {
 }
 
 func (n *Network) drop(p *netsim.Packet, stage int) {
-	n.Stats.DropsByStage[stage]++
+	n.fab.stats.DropsByStage[stage]++
 	if n.dbgDrop != nil {
 		n.dbgDrop(p, stage)
 	}
 	if p.Ack {
-		n.Stats.AckDrops++
-		n.releaseAck(p)
+		n.fab.stats.AckDrops++
+		n.fab.releaseAck(p)
 		return
 	}
-	n.Stats.DataDrops++
-	// The source discovers the loss via its local timer; nothing else to
-	// do here — the timeout event is already scheduled.
-	if n.cfg.DisableRetransmit {
-		// Without the protocol the packet is simply lost; drop it from
-		// the source's outstanding set so Pending() can drain.
-		n.nics[p.Src].forget(p)
-	}
+	n.fab.stats.DataDrops++
+	// The source discovers the loss via its local timer; nothing else to do
+	// here — the timeout event is already scheduled. (With the protocol
+	// disabled the packet is simply lost; nothing tracks it: enqueueData
+	// skips the outstanding set in that mode.)
 }

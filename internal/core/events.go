@@ -10,12 +10,19 @@ import (
 // traversal, the retransmission timeout and the destination receive. One
 // struct with a kind tag (instead of one type per kind) keeps the free list
 // simple; steady-state packet flow allocates no events.
+//
+// Events are pooled per shard. An event is acquired from the pool of the
+// shard that schedules it and freed into the pool of the shard that executes
+// it (home), so each free list is only ever touched by its owning shard's
+// goroutine; cross-shard traffic migrates pool entries in both directions
+// symmetrically (a traverse out, a receive back).
 type coreEvent struct {
 	kind    uint8
 	nic     *nic // transmit/timeout: the sender; receive: the destination
 	p       *netsim.Packet
 	seq     uint64 // timeout: sequence the timer guards
 	attempt int    // timeout: attempt the timer belongs to
+	home    *coreShard
 	next    *coreEvent
 }
 
@@ -28,15 +35,15 @@ const (
 
 func (ev *coreEvent) Run(e *sim.Engine) {
 	kind, c, p, seq, attempt := ev.kind, ev.nic, ev.p, ev.seq, ev.attempt
-	n := c.net
-	ev.nic, ev.p = nil, nil
-	ev.next = n.evFree
-	n.evFree = ev
+	home := ev.home
+	ev.nic, ev.p, ev.home = nil, nil, nil
+	ev.next = home.evFree
+	home.evFree = ev
 	switch kind {
 	case evTransmit:
 		c.transmit(p)
 	case evTraverse:
-		n.traverse(p, e.Now())
+		c.net.traverse(p, e.Now())
 	case evTimeout:
 		c.timeout(seq, attempt)
 	case evReceive:
@@ -44,16 +51,40 @@ func (ev *coreEvent) Run(e *sim.Engine) {
 	}
 }
 
-// schedule enqueues a pooled event at absolute time t.
-func (n *Network) schedule(t sim.Time, kind uint8, c *nic, p *netsim.Packet, seq uint64, attempt int) {
-	ev := n.evFree
+// acquireEvent returns a pooled event from this shard's free list.
+func (sh *coreShard) acquireEvent() *coreEvent {
+	ev := sh.evFree
 	if ev != nil {
-		n.evFree = ev.next
+		sh.evFree = ev.next
 	} else {
 		ev = &coreEvent{}
 	}
-	ev.kind, ev.nic, ev.p, ev.seq, ev.attempt = kind, c, p, seq, attempt
-	n.eng.Schedule(t, ev)
+	return ev
+}
+
+// sched enqueues a pooled event on this NIC's own shard at absolute time t,
+// keyed by the NIC's actor stream.
+func (c *nic) sched(t sim.Time, kind uint8, p *netsim.Packet, seq uint64, attempt int) {
+	ev := c.sh.acquireEvent()
+	ev.kind, ev.nic, ev.p, ev.seq, ev.attempt, ev.home = kind, c, p, seq, attempt, c.sh
+	c.eng.ScheduleKey(t, c.act.Next(), ev)
+}
+
+// postTraverse hands p's head to the fabric shard at time t (>= one link
+// delay away, the sharded engine's lookahead).
+func (c *nic) postTraverse(t sim.Time, p *netsim.Packet) {
+	fab := c.net.fab
+	ev := c.sh.acquireEvent()
+	ev.kind, ev.nic, ev.p, ev.home = evTraverse, c, p, fab
+	c.sh.sh.Post(fab.sh, t, c.act.Next(), ev)
+}
+
+// postReceive hands p's last-bit arrival to the destination NIC's shard.
+// Runs on the fabric shard.
+func (n *Network) postReceive(t sim.Time, dst *nic, p *netsim.Packet) {
+	ev := n.fab.acquireEvent()
+	ev.kind, ev.nic, ev.p, ev.home = evReceive, dst, p, dst.sh
+	n.fab.sh.Post(dst.sh.sh, t, n.fabAct.Next(), ev)
 }
 
 // Run is the NIC's wire-free event: the tail of the previous packet has
@@ -64,20 +95,20 @@ func (c *nic) Run(*sim.Engine) {
 	c.pump()
 }
 
-// acquireAck returns a reset ACK packet from the pool. ACKs never surface
-// through OnDeliver and are consumed by the protocol at both possible ends
-// of their life (sender receive or in-network drop), so unlike data packets
-// they can be recycled safely.
-func (n *Network) acquireAck() *netsim.Packet {
-	if last := len(n.ackFree) - 1; last >= 0 {
-		p := n.ackFree[last]
-		n.ackFree = n.ackFree[:last]
+// acquireAck returns a reset ACK packet from this shard's pool. ACKs never
+// surface through OnDeliver and are consumed by the protocol at both
+// possible ends of their life (sender receive or in-network drop), so unlike
+// data packets they can be recycled safely.
+func (sh *coreShard) acquireAck() *netsim.Packet {
+	if last := len(sh.ackFree) - 1; last >= 0 {
+		p := sh.ackFree[last]
+		sh.ackFree = sh.ackFree[:last]
 		p.Reset()
 		return p
 	}
 	return &netsim.Packet{}
 }
 
-func (n *Network) releaseAck(p *netsim.Packet) {
-	n.ackFree = append(n.ackFree, p)
+func (sh *coreShard) releaseAck(p *netsim.Packet) {
+	sh.ackFree = append(sh.ackFree, p)
 }

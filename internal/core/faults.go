@@ -58,6 +58,9 @@ func (n *Network) ProbePath(src, dst int) bool {
 	if !n.cfg.DisableRetransmit {
 		panic("core: ProbePath requires DisableRetransmit (diagnosis runs without the reliability protocol)")
 	}
+	if n.se.NumShards() > 1 {
+		panic("core: ProbePath requires a serial network (Shards <= 1)")
+	}
 	delivered := false
 	// Register a one-shot observer keyed on a sentinel size.
 	const probeSize = 64
@@ -66,8 +69,9 @@ func (n *Network) ProbePath(src, dst int) bool {
 			delivered = true
 		}
 	})
-	n.eng.At(n.eng.Now(), func() { n.Send(src, dst, probeSize) })
-	n.eng.Run()
+	eng := n.Engine()
+	eng.At(eng.Now(), func() { n.Send(src, dst, probeSize) })
+	eng.Run()
 	// Remove the observer to keep ProbePath reusable.
 	n.onDeliver = n.onDeliver[:len(n.onDeliver)-1]
 	return delivered

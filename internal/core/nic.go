@@ -3,6 +3,7 @@ package core
 import (
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
+	"baldur/internal/stats"
 )
 
 // nic models a server node's network interface: a transmit queue feeding
@@ -12,6 +13,19 @@ import (
 type nic struct {
 	net *Network
 	id  int
+
+	// Shard residency: sh owns this NIC's events, eng is sh's queue, act
+	// is the NIC's deterministic tie-break key stream and rng its private
+	// randomness (route tags, backoff draws) — all independent of how NICs
+	// are packed onto shards.
+	sh  *coreShard
+	eng *sim.Engine
+	act sim.Actor
+	rng *sim.RNG
+
+	// ackLat accumulates this NIC's ACK round-trip observations; merged in
+	// node order by SyncStats.
+	ackLat stats.Running
 
 	// Transmit side. ACKs are prepended (control priority); data appends.
 	// The queue is a two-ended structure so neither end allocates in
@@ -33,10 +47,14 @@ type nic struct {
 	seen map[int]*seqTracker
 }
 
-func newNIC(n *Network, id int) *nic {
+func newNIC(n *Network, id int, sh *coreShard, rng *sim.RNG) *nic {
 	return &nic{
 		net:         n,
 		id:          id,
+		sh:          sh,
+		eng:         sh.sh.Eng,
+		act:         sim.MakeActor(uint32(id) + 2), // 1 is the fabric
+		rng:         rng,
 		outstanding: make(map[uint64]*netsim.Packet),
 		seen:        make(map[int]*seqTracker),
 	}
@@ -70,8 +88,8 @@ func (c *nic) enqueueData(p *netsim.Packet) {
 	if !c.net.cfg.DisableRetransmit {
 		c.outstanding[p.Seq] = p
 		c.retxBytes += p.Size
-		if c.retxBytes > c.net.Stats.MaxRetxBufBytes {
-			c.net.Stats.MaxRetxBufBytes = c.retxBytes
+		if c.retxBytes > c.sh.stats.MaxRetxBufBytes {
+			c.sh.stats.MaxRetxBufBytes = c.retxBytes
 		}
 	}
 	c.pump()
@@ -109,7 +127,7 @@ func (c *nic) pump() {
 		c.pump()
 		return
 	}
-	now := c.net.eng.Now()
+	now := c.eng.Now()
 	start := now
 	if c.wireFreeAt > start {
 		start = c.wireFreeAt
@@ -124,13 +142,13 @@ func (c *nic) pump() {
 		c.transmit(p)
 		return
 	}
-	c.net.schedule(start, evTransmit, c, p, 0, 0)
+	c.sched(start, evTransmit, p, 0, 0)
 }
 
 // transmit puts p on the injection wire at the current time.
 func (c *nic) transmit(p *netsim.Packet) {
 	n := c.net
-	now := n.eng.Now()
+	now := c.eng.Now()
 	if p.Acked {
 		c.sending = false
 		c.pump()
@@ -143,17 +161,18 @@ func (c *nic) transmit(p *netsim.Packet) {
 	if n.mb.DistStages > 0 {
 		// Fresh Valiant bits per attempt: a retransmission takes a new
 		// random path through the distribution stages.
-		p.RouteTag = n.rng.Uint64()
+		p.RouteTag = c.rng.Uint64()
 	}
 	c.wireFreeAt = now.Add(dur + n.gap)
-	// The head reaches the first-stage switch after the host fiber.
-	n.schedule(now.Add(n.cfg.LinkDelay), evTraverse, c, p, 0, 0)
+	// The head reaches the first-stage switch after the host fiber (one
+	// lookahead away: this is the cross-shard handoff).
+	c.postTraverse(now.Add(n.cfg.LinkDelay), p)
 	// Local retransmission timer for data packets.
 	if !p.Ack && !n.cfg.DisableRetransmit {
-		n.schedule(now.Add(n.rto), evTimeout, c, nil, p.Seq, p.Retries)
+		c.sched(now.Add(n.rto), evTimeout, nil, p.Seq, p.Retries)
 	}
 	// Wire becomes free: send the next queued packet.
-	n.eng.Schedule(c.wireFreeAt, c)
+	c.eng.ScheduleKey(c.wireFreeAt, c.act.Next(), c)
 }
 
 // timeout fires RTO after a transmission attempt; if the packet is still
@@ -166,15 +185,15 @@ func (c *nic) timeout(seq uint64, attempt int) {
 	}
 	n := c.net
 	p.Retries++
-	n.Stats.Retransmissions++
+	c.sh.stats.Retransmissions++
 	if !n.cfg.DisableBEB {
 		exp := p.Retries
 		if exp > n.cfg.MaxBackoffExp {
 			exp = n.cfg.MaxBackoffExp
 		}
 		window := 1 << exp
-		slots := n.rng.Intn(window)
-		p.NotBefore = n.eng.Now().Add(sim.Duration(slots) * n.cfg.BEBSlot)
+		slots := c.rng.Intn(window)
+		p.NotBefore = c.eng.Now().Add(sim.Duration(slots) * n.cfg.BEBSlot)
 	}
 	c.requeueFront(p)
 }
@@ -183,14 +202,19 @@ func (c *nic) timeout(seq uint64, attempt int) {
 func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 	n := c.net
 	if p.Ack {
-		// We are the original sender: the ACK closes the loop.
-		src := n.nics[p.Dst] // ACK's Dst is the data packet's source
-		if data, ok := src.outstanding[p.AckFor]; ok {
+		// We are the original sender: the ACK closes the loop (the ACK's
+		// Dst is the data packet's source, i.e. this NIC).
+		if data, ok := c.outstanding[p.AckFor]; ok {
 			data.Acked = true
-			src.forget(data)
-			n.Stats.AckLatency.Add(float64(at.Sub(data.Created).Nanoseconds()))
+			c.forget(data)
+			lat := float64(at.Sub(data.Created).Nanoseconds())
+			c.ackLat.Add(lat)
+			// Keep the legacy live aggregate for serial callers that read
+			// Stats without SyncStats; overwritten by the node-order merge
+			// whenever SyncStats runs.
+			c.sh.stats.AckLatency.Add(lat)
 		}
-		n.releaseAck(p)
+		c.sh.releaseAck(p)
 		return
 	}
 	if n.cfg.DisableRetransmit {
@@ -207,9 +231,9 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 	if fresh {
 		c.deliverUnique(p, at)
 	} else {
-		n.Stats.Duplicates++
+		c.sh.stats.Duplicates++
 	}
-	ack := n.acquireAck()
+	ack := c.sh.acquireAck()
 	ack.ID = 0 // ACKs are anonymous
 	ack.Src = c.id
 	ack.Dst = p.Src
@@ -222,18 +246,11 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 
 func (c *nic) deliverUnique(p *netsim.Packet, at sim.Time) {
 	n := c.net
-	n.Stats.Delivered++
-	if n.cfg.DisableRetransmit {
-		n.nics[p.Src].forgetQueued(p)
-	}
+	c.sh.stats.Delivered++
 	for _, fn := range n.onDeliver {
 		fn(p, at)
 	}
 }
-
-// forgetQueued is used in DisableRetransmit mode where outstanding tracking
-// is off; nothing to clean.
-func (c *nic) forgetQueued(*netsim.Packet) {}
 
 // seqTracker deduplicates per-source sequence numbers with O(1) memory for
 // in-order delivery and a small spill set for reordering caused by

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// loadInjector drives an open-loop Poisson-ish load from one node, living
+// entirely on that node's shard.
+type loadInjector struct {
+	net       *Network
+	src, dst  int
+	remaining int
+	mean      sim.Duration
+	rng       *sim.RNG
+}
+
+func (in *loadInjector) Run(e *sim.Engine) {
+	in.net.Send(in.src, in.dst, 0)
+	in.remaining--
+	if in.remaining > 0 {
+		in.net.ScheduleNode(in.src, e.Now().Add(in.rng.ExpDuration(in.mean)), in)
+	}
+}
+
+type shardedRunResult struct {
+	stats     Stats
+	events    uint64
+	delivered uint64
+	avgNS     float64
+	tailNS    float64
+}
+
+func runShardedLoad(t *testing.T, shards int, seed uint64) shardedRunResult {
+	t.Helper()
+	n, err := New(Config{Nodes: 64, Seed: seed, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col netsim.Collector
+	col.Attach(n)
+	for src := 0; src < 64; src++ {
+		in := &loadInjector{
+			net:       n,
+			src:       src,
+			dst:       (src*13 + 7) % 64,
+			remaining: 30,
+			mean:      300 * sim.Nanosecond,
+			rng:       sim.NewRNG(seed).Fork(uint64(src) + 1),
+		}
+		n.ScheduleNode(src, sim.Time(0).Add(in.rng.ExpDuration(in.mean)), in)
+	}
+	if more := n.Run(sim.Time(10 * sim.Millisecond)); more {
+		t.Fatalf("shards=%d: run hit the horizon", shards)
+	}
+	return shardedRunResult{
+		stats:     n.Stats,
+		events:    n.Events(),
+		delivered: col.Delivered(),
+		avgNS:     col.AvgNS(),
+		tailNS:    col.TailNS(),
+	}
+}
+
+// TestShardedBitIdenticalToSerial is the core-level determinism guarantee:
+// every statistic — protocol counters, drop histogram, ACK moments, latency
+// mean and tail, and the event count itself — is bit-identical across shard
+// counts.
+func TestShardedBitIdenticalToSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		ref := runShardedLoad(t, 1, seed)
+		if ref.stats.Delivered != 64*30 {
+			t.Fatalf("seed %d: serial delivered %d unique packets, want %d", seed, ref.stats.Delivered, 64*30)
+		}
+		for _, k := range []int{2, 4, 8} {
+			got := runShardedLoad(t, k, seed)
+			if !reflect.DeepEqual(got.stats, ref.stats) {
+				t.Errorf("seed %d shards=%d: stats diverge\n got %+v\nwant %+v", seed, k, got.stats, ref.stats)
+			}
+			if got.events != ref.events {
+				t.Errorf("seed %d shards=%d: events %d, serial %d", seed, k, got.events, ref.events)
+			}
+			if got.delivered != ref.delivered || got.avgNS != ref.avgNS || got.tailNS != ref.tailNS {
+				t.Errorf("seed %d shards=%d: collector (%d, %v, %v), serial (%d, %v, %v)",
+					seed, k, got.delivered, got.avgNS, got.tailNS, ref.delivered, ref.avgNS, ref.tailNS)
+			}
+		}
+	}
+}
+
+// TestShardedEpochsProgress sanity-checks that a sharded run actually takes
+// the parallel path (epochs advance) and a serial one does not.
+func TestShardedEpochsProgress(t *testing.T) {
+	if got := runShardedLoad(t, 1, 3); got.events == 0 {
+		t.Fatal("serial run executed nothing")
+	}
+	n, err := New(Config{Nodes: 16, Seed: 3, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Send(0, 9, 0)
+	n.Run(sim.Time(1 * sim.Millisecond))
+	if n.Epochs() == 0 {
+		t.Error("sharded run advanced zero epochs")
+	}
+	if n.Stats.Delivered != 1 {
+		t.Errorf("delivered %d, want 1", n.Stats.Delivered)
+	}
+}

@@ -20,7 +20,10 @@ type Dragonfly struct {
 	p, a, h, g int
 	threshold  int
 	routing    string
-	rng        *sim.RNG
+	// rngs holds one UGAL/Valiant randomness stream per router: the draw
+	// happens on the source router's shard, and per-router streams keep
+	// the sequence of draws invariant to the shard count.
+	rngs []*sim.RNG
 }
 
 // DragonflyConfig configures the dragonfly.
@@ -41,8 +44,13 @@ type DragonflyConfig struct {
 	// routing), "minimal" (always shortest path) or "valiant" (always a
 	// random intermediate group). The non-default modes are ablations.
 	Routing string
-	Engine  EngineConfig
-	Seed    uint64
+	// Shards selects the conservative-parallel shard count (0 or 1:
+	// serial). The network partitions by group — hosts and local links
+	// stay shard-internal — so only global links cross shards and the
+	// lookahead is InterDelay. Statistics are bit-identical for any value.
+	Shards int
+	Engine EngineConfig
+	Seed   uint64
 }
 
 // DragonflyNodes returns the node count of the maximal configuration for a
@@ -93,7 +101,11 @@ func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
 		p:      p, a: a, h: h, g: g,
 		threshold: cfg.UGALThreshold,
 		routing:   cfg.Routing,
-		rng:       sim.NewRNG(cfg.Seed ^ 0xd4a90),
+	}
+	base := sim.NewRNG(cfg.Seed ^ 0xd4a90)
+	net.rngs = make([]*sim.RNG, g*a)
+	for i := range net.rngs {
+		net.rngs[i] = base.Fork(uint64(i) + 1)
 	}
 
 	// Router (G,A) id = G*a + A. Ports: [0,p) hosts, [p, p+a-1) local,
@@ -151,6 +163,11 @@ func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
 	}
 
 	net.route = net.routeDragonfly
+	// One group per partition unit: hosts and the local all-to-all stay
+	// shard-internal; only the global links cross.
+	net.partition(cfg.Shards, g,
+		func(i int) int { return i / a },
+		func(node int) int { return node / (a * p) })
 	return net, nil
 }
 
@@ -196,7 +213,7 @@ func (d *Dragonfly) routeDragonfly(n *engine, r *router, st *pktState) int {
 	// Routing decision, made once, at the packet's source router.
 	if st.hop == 1 && st.interGroup < 0 && G != dstGroup && d.routing != "minimal" {
 		minPort := d.firstHopPort(r, dstGroup)
-		K := d.rng.Intn(d.g)
+		K := d.rngs[r.id].Intn(d.g)
 		if K != G && K != dstGroup {
 			valPort := d.firstHopPort(r, K)
 			switch d.routing {

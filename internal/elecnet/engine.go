@@ -10,10 +10,19 @@
 // 25 Gbps ports. Electrical networks are lossless: congestion appears as
 // queueing delay and, at saturation, as unbounded source-queue growth —
 // the same observable CODES reports.
+//
+// Sharded execution: the router engine partitions along topology units
+// (multi-butterfly columns, dragonfly groups, fat-tree pods) onto K
+// conservative-parallel shards. Each router and NIC lives on exactly one
+// shard; packets and credits crossing a shard boundary travel over links
+// whose delay is at least the engine's lookahead, so epochs never violate
+// causality. Every event carries a per-actor deterministic key, which makes
+// all statistics bit-identical across shard counts.
 package elecnet
 
 import (
 	"fmt"
+	"math"
 
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
@@ -66,13 +75,40 @@ func (c *EngineConfig) slotsPerVC() int {
 	return per
 }
 
+// NetStats are the counters every electrical network keeps. They are
+// accumulated per shard during a run and folded — sums for the counters,
+// max for the hop bound, both invariant to the fold order — into the
+// embedded aggregate by SyncStats. With a single shard the aggregate is
+// updated live.
+type NetStats struct {
+	Injected  uint64
+	Delivered uint64
+	MaxHops   int
+}
+
+// eshard is one partition of an electrical network: a block of routers and
+// their co-located NICs. Each shard owns an event queue, a NetStats slice
+// and the free lists its goroutine touches; nothing here is shared between
+// shards during an epoch. Pooled objects (pktState, creditEvent) migrate:
+// they are acquired from the free list of the shard that schedules them and
+// released into the free list of the shard that executes them.
+type eshard struct {
+	sh       *sim.Shard
+	stats    *NetStats
+	stFree   *pktState
+	credFree *creditEvent
+}
+
 // pktState is the in-network routing state of one packet. States are
-// recycled through the engine's free list: a packet holds at most one
-// pending event at a time (link traversal or ejection), so the state doubles
-// as that event's payload and implements sim.Event directly.
+// recycled through per-shard free lists: a packet holds at most one pending
+// event at a time (link traversal or ejection), so the state doubles as
+// that event's payload and implements sim.Event directly.
 type pktState struct {
 	pkt *netsim.Packet
 	net *engine
+	// home is the shard the pending event runs on (and whose free list
+	// receives the state when it is released there).
+	home *eshard
 	// hop counts router hops taken so far; also selects the VC.
 	hop int
 	// holdRouter/holdIn identify the input buffer slot currently held
@@ -86,7 +122,7 @@ type pktState struct {
 	// minimally) and whether it has been reached.
 	interGroup   int32
 	interReached bool
-	// nextFree links the engine's free list.
+	// nextFree links the shard free list.
 	nextFree *pktState
 }
 
@@ -95,9 +131,9 @@ type pktState struct {
 func (st *pktState) Run(e *sim.Engine) {
 	n := st.net
 	if st.eject {
-		p := st.pkt
+		p, sh := st.pkt, st.home
 		n.releaseState(st)
-		n.deliver(p, e.Now())
+		n.deliver(sh, p, e.Now())
 		return
 	}
 	n.arrive(st.holdRouter, st.holdIn, st)
@@ -111,13 +147,47 @@ func (st *pktState) vc(nvc int) int {
 	return v
 }
 
+// fifo is a queue of packet states over a reusable backing array. Popping
+// advances a head index instead of reslicing, so steady-state push/pop
+// traffic reuses the array's capacity; the naive `q = q[1:]` pop discards
+// capacity and forces an allocation on nearly every push (two thirds of the
+// Fig 6 sweep's allocations before this type existed).
+type fifo struct {
+	buf  []*pktState
+	head int
+}
+
+func (f *fifo) push(st *pktState) {
+	if f.head > 16 && f.head*2 >= len(f.buf) {
+		// Mostly dead space in front of head: compact in place.
+		n := copy(f.buf, f.buf[f.head:])
+		clear(f.buf[n:])
+		f.buf, f.head = f.buf[:n], 0
+	}
+	f.buf = append(f.buf, st)
+}
+
+func (f *fifo) pop() *pktState {
+	st := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		// Drained: rewind to the start of the backing array.
+		f.buf, f.head = f.buf[:0], 0
+	}
+	return st
+}
+
+func (f *fifo) len() int        { return len(f.buf) - f.head }
+func (f *fifo) peek() *pktState { return f.buf[f.head] }
+
 // outPort is one transmit port of a router, feeding exactly one downstream
 // input port (or ejecting to a node). Queues are per virtual channel: a
 // blocked VC must not block the others, or head-of-line coupling would
 // defeat the ascending-VC deadlock-freedom argument (we observed exactly
 // that deadlock with a single FIFO under adversarial dragonfly load).
 type outPort struct {
-	queues    [][]*pktState // per VC
+	queues    []fifo // per VC
 	queued    int           // total packets across queues
 	rr        int           // round-robin VC scan start
 	busyUntil sim.Time
@@ -152,6 +222,13 @@ type router struct {
 	id  int32
 	out []outPort
 	in  []inPort
+
+	// Shard residency, set by partition: sh owns this router's events,
+	// eng is sh's queue and act the router's deterministic tie-break key
+	// stream.
+	sh  *eshard
+	eng *sim.Engine
+	act sim.Actor
 }
 
 // enic is a source NIC: an unbounded injection queue feeding one router
@@ -159,13 +236,20 @@ type router struct {
 type enic struct {
 	id        int32
 	net       *engine
-	queue     []*pktState
+	queue     fifo
 	busyUntil sim.Time
 	credits   []int
 	linkDelay sim.Duration
 	edge      int32
 	edgeIn    int16
 	scheduled bool
+	// nextSeq numbers this NIC's packets; combined with the node id it
+	// yields globally unique, shard-count-invariant packet IDs.
+	nextSeq uint64
+
+	sh  *eshard
+	eng *sim.Engine
+	act sim.Actor
 }
 
 // Run services the NIC (typed service event; the scheduled flag guarantees
@@ -173,10 +257,11 @@ type enic struct {
 func (nic *enic) Run(*sim.Engine) { nic.net.serviceNIC(nic) }
 
 // creditEvent returns one credit to an upstream NIC or router port after
-// the reverse-link delay. Instances are recycled through the engine's free
-// list.
+// the reverse-link delay. Instances are recycled through per-shard free
+// lists and, like pktState, migrate to the shard that executes them.
 type creditEvent struct {
 	n    *engine
+	home *eshard // shard the event runs on
 	nic  *enic   // non-nil: NIC credit return
 	r    *router // else: router output port credit return
 	port int32
@@ -186,9 +271,10 @@ type creditEvent struct {
 
 func (c *creditEvent) Run(*sim.Engine) {
 	n, nic, r, port, vc := c.n, c.nic, c.r, int(c.port), int(c.vc)
-	c.nic, c.r = nil, nil
-	c.next = n.credFree
-	n.credFree = c
+	home := c.home
+	c.nic, c.r, c.home = nil, nil, nil
+	c.next = home.credFree
+	home.credFree = c
 	if nic != nil {
 		nic.credits[vc]++
 		n.kickNIC(nic)
@@ -199,76 +285,211 @@ func (c *creditEvent) Run(*sim.Engine) {
 }
 
 // routeFunc picks the output port for a packet at a router. It may mutate
-// the packet's routing state (e.g. dragonfly Valiant phase).
+// the packet's routing state (e.g. dragonfly Valiant phase). It runs on the
+// router's shard and must consult only that router's state (queues,
+// credits, per-router randomness).
 type routeFunc func(net *engine, r *router, st *pktState) int
 
-// engine is the shared buffered-network core. Concrete networks embed it
-// and provide topology plus a routeFunc.
+// engine is the shared buffered-network core. Concrete networks embed it,
+// provide topology plus a routeFunc, and finish construction with
+// partition.
 type engine struct {
 	cfg       EngineConfig
-	eng       *sim.Engine
+	se        *sim.ShardedEngine
+	shards    []*eshard
 	routers   []*router
 	nics      []*enic
 	route     routeFunc
 	onDeliver []func(*netsim.Packet, sim.Time)
-	nextID    uint64
 	name      string
 
-	// Free lists: steady-state forwarding allocates neither routing
-	// state nor events.
-	stFree   *pktState
-	credFree *creditEvent
-
-	// Stats.
-	Injected  uint64
-	Delivered uint64
-	MaxHops   int
+	// NetStats is the aggregate view (live with one shard; refreshed by
+	// SyncStats — called by Run — otherwise). The embedding promotes
+	// Injected/Delivered/MaxHops onto the concrete network types.
+	NetStats
 }
 
-// acquireState returns a reset pktState from the pool.
-func (n *engine) acquireState(p *netsim.Packet) *pktState {
-	st := n.stFree
+// acquireState returns a reset pktState from sh's pool.
+func (n *engine) acquireState(sh *eshard, p *netsim.Packet) *pktState {
+	st := sh.stFree
 	if st != nil {
-		n.stFree = st.nextFree
-		*st = pktState{pkt: p, net: n, holdRouter: -1, interGroup: -1}
+		sh.stFree = st.nextFree
+		*st = pktState{pkt: p, net: n, home: sh, holdRouter: -1, interGroup: -1}
 		return st
 	}
-	return &pktState{pkt: p, net: n, holdRouter: -1, interGroup: -1}
+	return &pktState{pkt: p, net: n, home: sh, holdRouter: -1, interGroup: -1}
 }
 
+// releaseState frees st into its home shard's pool (the caller runs on that
+// shard).
 func (n *engine) releaseState(st *pktState) {
 	st.pkt = nil
-	st.nextFree = n.stFree
-	n.stFree = st
+	st.nextFree = st.home.stFree
+	st.home.stFree = st
 }
 
-// scheduleCredit enqueues a pooled credit-return event at time t.
-func (n *engine) scheduleCredit(t sim.Time, nic *enic, r *router, port, vc int) {
-	c := n.credFree
+// scheduleCredit enqueues a pooled credit-return event at time t, keyed by
+// the returning router's actor. The event is acquired from the returning
+// router's shard and posted to — and later freed on — the receiver's shard.
+func (n *engine) scheduleCredit(from *router, t sim.Time, nic *enic, r *router, port, vc int) {
+	src := from.sh
+	dst := src
+	if nic != nil {
+		dst = nic.sh
+	} else {
+		dst = r.sh
+	}
+	c := src.credFree
 	if c != nil {
-		n.credFree = c.next
+		src.credFree = c.next
 	} else {
 		c = &creditEvent{}
 	}
-	c.n, c.nic, c.r, c.port, c.vc = n, nic, r, int32(port), int32(vc)
-	n.eng.Schedule(t, c)
+	c.n, c.home, c.nic, c.r, c.port, c.vc = n, dst, nic, r, int32(port), int32(vc)
+	src.sh.Post(dst.sh, t, from.act.Next(), c)
 }
 
 func newEngine(cfg EngineConfig, name string, defaultVCs int) *engine {
 	cfg.applyDefaults(defaultVCs)
-	return &engine{cfg: cfg, eng: sim.NewEngine(), name: name}
+	return &engine{cfg: cfg, name: name}
 }
 
-func (n *engine) Engine() *sim.Engine { return n.eng }
+// partition finishes construction: it maps topology units (columns, groups,
+// pods — anything whose internal links may be shorter than the lookahead)
+// onto min(shards, units) contiguous shard blocks, derives the lookahead as
+// the minimum link delay crossing a shard boundary (head events add the
+// router latency on top of that; credit returns travel at exactly the link
+// delay, so it is the binding constraint), and assigns every router and NIC
+// its shard, engine and actor key stream. Constructors must call it before
+// returning.
+func (n *engine) partition(shards, units int, routerUnit func(int) int, nodeUnit func(int) int) {
+	k := shards
+	if k < 1 {
+		k = 1
+	}
+	if k > units {
+		k = units
+	}
+	rsh := make([]int, len(n.routers))
+	for i := range rsh {
+		rsh[i] = routerUnit(i) * k / units
+	}
+	nsh := make([]int, len(n.nics))
+	for i := range nsh {
+		nsh[i] = nodeUnit(i) * k / units
+	}
+	la := sim.Duration(math.MaxInt64)
+	for ri, r := range n.routers {
+		for pi := range r.out {
+			port := &r.out[pi]
+			switch {
+			case port.peer >= 0:
+				if rsh[port.peer] != rsh[ri] && port.linkDelay < la {
+					la = port.linkDelay
+				}
+			case port.node >= 0:
+				if nsh[port.node] != rsh[ri] && port.linkDelay < la {
+					la = port.linkDelay
+				}
+			}
+		}
+	}
+	for ni, nic := range n.nics {
+		if rsh[nic.edge] != nsh[ni] && nic.linkDelay < la {
+			la = nic.linkDelay
+		}
+	}
+	if la == sim.Duration(math.MaxInt64) {
+		la = sim.Nanosecond // single shard: the lookahead is unused
+	}
+	n.se = sim.NewShardedEngine(k, la)
+	n.shards = make([]*eshard, k)
+	for i := range n.shards {
+		sh := &eshard{sh: n.se.Shard(i)}
+		if k == 1 {
+			sh.stats = &n.NetStats
+		} else {
+			sh.stats = &NetStats{}
+		}
+		n.shards[i] = sh
+	}
+	for i, r := range n.routers {
+		r.sh = n.shards[rsh[i]]
+		r.eng = r.sh.sh.Eng
+		r.act = sim.MakeActor(uint32(i) + 1)
+	}
+	for i, nic := range n.nics {
+		nic.sh = n.shards[nsh[i]]
+		nic.eng = nic.sh.sh.Eng
+		nic.act = sim.MakeActor(uint32(len(n.routers)+i) + 1)
+	}
+}
+
+// Engine returns shard 0's event queue: with a single shard (the default)
+// that is the whole simulation, preserving the serial Engine().Run() idiom.
+// Sharded runs must use Run instead.
+func (n *engine) Engine() *sim.Engine { return n.shards[0].sh.Eng }
 
 func (n *engine) NumNodes() int { return len(n.nics) }
 
-// OnDeliver registers a delivery callback.
+// OnDeliver registers a delivery callback. Callbacks run on the shard of
+// the packet's destination node and must touch only per-node or per-shard
+// state.
 func (n *engine) OnDeliver(fn func(p *netsim.Packet, at sim.Time)) {
 	n.onDeliver = append(n.onDeliver, fn)
 }
 
-// Send creates a packet and enqueues it at src's NIC.
+// Run dispatches all events up to and including deadline across every
+// shard, folds per-shard statistics, and reports whether events remain
+// queued (netsim.Sharded).
+func (n *engine) Run(deadline sim.Time) bool {
+	more := n.se.RunUntil(deadline)
+	n.SyncStats()
+	return more
+}
+
+// Events returns the total number of dispatched events (netsim.Sharded).
+func (n *engine) Events() uint64 { return n.se.Executed() }
+
+// Epochs returns the number of barrier rounds executed so far (0 when
+// serial).
+func (n *engine) Epochs() uint64 { return n.se.Epochs }
+
+// NumShards returns the shard count K (netsim.Sharded).
+func (n *engine) NumShards() int { return n.se.NumShards() }
+
+// NodeShard returns the shard owning a node's NIC (netsim.Sharded).
+func (n *engine) NodeShard(node int) int { return n.nics[node].sh.sh.ID }
+
+// ScheduleNode schedules ev on node's shard with the node's deterministic
+// tie-break key (netsim.Sharded). Call it before the run starts or from an
+// event already executing on that node's shard.
+func (n *engine) ScheduleNode(node int, t sim.Time, ev sim.Event) {
+	nic := n.nics[node]
+	nic.eng.ScheduleKey(t, nic.act.Next(), ev)
+}
+
+// SyncStats folds per-shard counters into the embedded aggregate. Sums and
+// a max, so the result is invariant to the shard count. Idempotent; no-op
+// with a single shard (the aggregate is live).
+func (n *engine) SyncStats() {
+	if len(n.shards) == 1 {
+		return
+	}
+	var agg NetStats
+	for _, sh := range n.shards {
+		agg.Injected += sh.stats.Injected
+		agg.Delivered += sh.stats.Delivered
+		if sh.stats.MaxHops > agg.MaxHops {
+			agg.MaxHops = sh.stats.MaxHops
+		}
+	}
+	n.NetStats = agg
+}
+
+// Send creates a packet and enqueues it at src's NIC. In sharded runs it
+// must be called from src's shard (injectors scheduled via ScheduleNode
+// are) or before the run starts.
 func (n *engine) Send(src, dst, size int) *netsim.Packet {
 	if src < 0 || src >= len(n.nics) || dst < 0 || dst >= len(n.nics) {
 		panic(fmt.Sprintf("elecnet(%s): Send(%d,%d) outside [0,%d)", n.name, src, dst, len(n.nics)))
@@ -276,18 +497,18 @@ func (n *engine) Send(src, dst, size int) *netsim.Packet {
 	if size <= 0 {
 		size = n.cfg.PacketSize
 	}
-	n.nextID++
+	nic := n.nics[src]
+	nic.nextSeq++
 	p := &netsim.Packet{
-		ID:      n.nextID,
+		ID:      uint64(src+1)<<32 | nic.nextSeq,
 		Src:     src,
 		Dst:     dst,
 		Size:    size,
-		Created: n.eng.Now(),
+		Created: nic.eng.Now(),
 	}
-	n.Injected++
-	st := n.acquireState(p)
-	nic := n.nics[src]
-	nic.queue = append(nic.queue, st)
+	nic.sh.stats.Injected++
+	st := n.acquireState(nic.sh, p)
+	nic.queue.push(st)
 	n.kickNIC(nic)
 	return p
 }
@@ -313,31 +534,33 @@ func (n *engine) kickNIC(nic *enic) {
 		return
 	}
 	nic.scheduled = true
-	n.eng.ScheduleAfter(0, nic)
+	nic.eng.ScheduleKey(nic.eng.Now(), nic.act.Next(), nic)
 }
 
 func (n *engine) serviceNIC(nic *enic) {
 	nic.scheduled = false
-	for len(nic.queue) > 0 {
-		now := n.eng.Now()
+	for nic.queue.len() > 0 {
+		now := nic.eng.Now()
 		if nic.busyUntil > now {
 			nic.scheduled = true
-			n.eng.Schedule(nic.busyUntil, nic)
+			nic.eng.ScheduleKey(nic.busyUntil, nic.act.Next(), nic)
 			return
 		}
-		st := nic.queue[0]
+		st := nic.queue.peek()
 		vc := st.vc(n.cfg.VirtualChannels)
 		if nic.credits[vc] <= 0 {
 			return // waits for a credit return to kick us
 		}
-		nic.queue = nic.queue[1:]
+		nic.queue.pop()
 		nic.credits[vc]--
 		dur := n.ser(st.pkt.Size)
 		nic.busyUntil = now.Add(dur)
 		st.holdRouter = nic.edge
 		st.holdIn = nic.edgeIn
+		edge := n.routers[nic.edge]
+		st.home = edge.sh
 		headAt := now.Add(nic.linkDelay + n.cfg.RouterLatency)
-		n.eng.Schedule(headAt, st)
+		nic.sh.sh.Post(edge.sh.sh, headAt, nic.act.Next(), st)
 	}
 }
 
@@ -349,16 +572,16 @@ func (n *engine) serviceNIC(nic *enic) {
 func (n *engine) arrive(rid int32, in int16, st *pktState) {
 	r := n.routers[rid]
 	st.hop++
-	if st.hop > n.MaxHops {
-		n.MaxHops = st.hop
+	if st.hop > r.sh.stats.MaxHops {
+		r.sh.stats.MaxHops = st.hop
 	}
 	out := n.route(n, r, st)
 	port := &r.out[out]
 	if port.queues == nil {
-		port.queues = make([][]*pktState, n.cfg.VirtualChannels)
+		port.queues = make([]fifo, n.cfg.VirtualChannels)
 	}
 	vc := st.vc(n.cfg.VirtualChannels)
-	port.queues[vc] = append(port.queues[vc], st)
+	port.queues[vc].push(st)
 	port.queued++
 	n.kickPort(r, out)
 }
@@ -372,17 +595,17 @@ func (n *engine) kickPort(r *router, out int) {
 		port.net, port.rtr, port.idx = n, r, int32(out)
 	}
 	port.scheduled = true
-	n.eng.ScheduleAfter(0, port)
+	r.eng.ScheduleKey(r.eng.Now(), r.act.Next(), port)
 }
 
 func (n *engine) servicePort(r *router, out int) {
 	port := &r.out[out]
 	port.scheduled = false
 	for port.queued > 0 {
-		now := n.eng.Now()
+		now := r.eng.Now()
 		if port.busyUntil > now {
 			port.scheduled = true
-			n.eng.Schedule(port.busyUntil, port)
+			r.eng.ScheduleKey(port.busyUntil, r.act.Next(), port)
 			return
 		}
 		// Pick the next serviceable VC round-robin: non-empty and,
@@ -392,7 +615,7 @@ func (n *engine) servicePort(r *router, out int) {
 		vc := -1
 		for i := 0; i < nvc; i++ {
 			cand := (port.rr + i) % nvc
-			if len(port.queues[cand]) == 0 {
+			if port.queues[cand].len() == 0 {
 				continue
 			}
 			if !isEject && port.credits[cand] <= 0 {
@@ -405,8 +628,7 @@ func (n *engine) servicePort(r *router, out int) {
 			return // every waiting VC is out of credits; a return kicks us
 		}
 		port.rr = (vc + 1) % nvc
-		st := port.queues[vc][0]
-		port.queues[vc] = port.queues[vc][1:]
+		st := port.queues[vc].pop()
 		port.queued--
 		dur := n.ser(st.pkt.Size)
 		port.busyUntil = now.Add(dur)
@@ -414,19 +636,23 @@ func (n *engine) servicePort(r *router, out int) {
 		// Free the input slot we held on this router once the tail
 		// leaves; the credit travels back over the reverse link.
 		if st.holdRouter >= 0 {
-			n.scheduleCreditReturn(st.holdRouter, st.holdIn, st.vcHeld(n.cfg.VirtualChannels), port.busyUntil)
+			n.scheduleCreditReturn(r, st.holdIn, st.vcHeld(n.cfg.VirtualChannels), port.busyUntil)
 		}
 
 		if isEject {
 			st.eject = true
-			n.eng.Schedule(port.busyUntil.Add(port.linkDelay), st)
+			dst := n.nics[port.node]
+			st.home = dst.sh
+			r.sh.sh.Post(dst.sh.sh, port.busyUntil.Add(port.linkDelay), r.act.Next(), st)
 			continue
 		}
 		port.credits[vc]--
 		st.holdRouter = port.peer
 		st.holdIn = port.peerIn
+		peer := n.routers[port.peer]
+		st.home = peer.sh
 		headAt := now.Add(port.linkDelay + n.cfg.RouterLatency)
-		n.eng.Schedule(headAt, st)
+		r.sh.sh.Post(peer.sh.sh, headAt, r.act.Next(), st)
 	}
 }
 
@@ -443,21 +669,23 @@ func (st *pktState) vcHeld(nvc int) int {
 	return v
 }
 
-func (n *engine) scheduleCreditReturn(rid int32, in int16, vc int, tailAt sim.Time) {
-	r := n.routers[rid]
-	feeder := r.in[in]
+// scheduleCreditReturn frees the input slot (from, in) held at VC vc; the
+// credit reaches the upstream feeder one reverse-link delay after the tail
+// clears.
+func (n *engine) scheduleCreditReturn(from *router, in int16, vc int, tailAt sim.Time) {
+	feeder := from.in[in]
 	if feeder.feederRouter < 0 {
 		nic := n.nics[feeder.feederPort]
-		n.scheduleCredit(tailAt.Add(nic.linkDelay), nic, nil, 0, vc)
+		n.scheduleCredit(from, tailAt.Add(nic.linkDelay), nic, nil, 0, vc)
 		return
 	}
 	up := n.routers[feeder.feederRouter]
 	upPort := int(feeder.feederPort)
-	n.scheduleCredit(tailAt.Add(up.out[upPort].linkDelay), nil, up, upPort, vc)
+	n.scheduleCredit(from, tailAt.Add(up.out[upPort].linkDelay), nil, up, upPort, vc)
 }
 
-func (n *engine) deliver(p *netsim.Packet, at sim.Time) {
-	n.Delivered++
+func (n *engine) deliver(sh *eshard, p *netsim.Packet, at sim.Time) {
+	sh.stats.Delivered++
 	for _, fn := range n.onDeliver {
 		fn(p, at)
 	}

@@ -25,7 +25,13 @@ type FatTreeConfig struct {
 	L1Delay sim.Duration
 	L2Delay sim.Duration
 	L3Delay sim.Duration
-	Engine  EngineConfig
+	// Shards selects the conservative-parallel shard count (0 or 1:
+	// serial). The network partitions by pod (hosts, edge and aggregation
+	// switches together) with core switches dealt round-robin, so only
+	// agg-core links cross shards and the lookahead is L3Delay.
+	// Statistics are bit-identical for any value.
+	Shards int
+	Engine EngineConfig
 }
 
 // FatTreeNodes returns the host count for radix k: k^3/4.
@@ -128,6 +134,20 @@ func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
 			return dPod // down to the destination pod
 		}
 	}
+	// One pod per partition unit; cores are dealt round-robin across
+	// pods, so every cross-shard link is an agg-core (L3) link.
+	net.partition(cfg.Shards, k,
+		func(i int) int {
+			switch {
+			case i < numEdge:
+				return i / half
+			case i < numEdge+numAgg:
+				return (i - numEdge) / half
+			default:
+				return (i - numEdge - numAgg) % k
+			}
+		},
+		func(node int) int { return node / (half * half) })
 	return net, nil
 }
 

@@ -26,8 +26,14 @@ type MBConfig struct {
 	// InterStageDelay is the switch-to-switch link delay (default 10 ns:
 	// backplane scale).
 	InterStageDelay sim.Duration
-	Engine          EngineConfig
-	Seed            uint64
+	// Shards selects the conservative-parallel shard count (0 or 1:
+	// serial). The network partitions by switch column — node i, its
+	// injection switch and its ejection switches all share column i>>1 —
+	// so only inter-stage links cross shards and the lookahead is
+	// InterStageDelay. Statistics are bit-identical for any value.
+	Shards int
+	Engine EngineConfig
+	Seed   uint64
 }
 
 // NewMultiButterfly builds the electrical multi-butterfly network.
@@ -130,6 +136,11 @@ func NewMultiButterfly(cfg MBConfig) (*MultiButterfly, error) {
 		}
 		return best
 	}
+	// Column k holds switch (s,k) of every stage plus nodes 2k and 2k+1:
+	// the randomized inter-stage matchings are the only links that cross.
+	net.partition(cfg.Shards, sw,
+		func(i int) int { return i % sw },
+		func(node int) int { return node >> 1 })
 	return net, nil
 }
 

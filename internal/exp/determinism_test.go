@@ -16,18 +16,18 @@ type goldPoint struct {
 }
 
 var goldTranspose07 = []goldPoint{
-	{"baldur", 612.47288535714324, 1570.1282249416706, 0},
-	{"multibutterfly", 1148.1346878571437, 1933.0545923721088, 0},
-	{"dragonfly", 2744.4847314285585, 8480.8902561085633, 0},
-	{"fattree", 1142.0386993333311, 2379.8693620896543, 0},
+	{"baldur", 612.4728853571429, 1570.1282249416706, 0},
+	{"multibutterfly", 1148.0589421428567, 1933.0545923721088, 0},
+	{"dragonfly", 2807.1637208928569, 8480.8902561085633, 0},
+	{"fattree", 1151.1560279999999, 2435.4961715255727, 0},
 	{"ideal", 200, 200.85352906156825, 0},
 }
 
 var goldRandomPerm05 = []goldPoint{
-	{"baldur", 469.24622734375055, 966.5272961860544, 0.00046823786483533636},
-	{"multibutterfly", 1038.2838275000001, 1464.9814348137045, 0},
-	{"dragonfly", 1313.4045463888863, 5467.5040426804617, 0},
-	{"fattree", 1058.7279594444465, 1803.6037091249129, 0},
+	{"baldur", 469.27747734374992, 966.5272961860544, 0.00046823786483533636},
+	{"multibutterfly", 1038.2838274999986, 1464.9814348137045, 0},
+	{"dragonfly", 1359.2356984722221, 5859.9257392548179, 0},
+	{"fattree", 1060.1672499999997, 1803.6037091249129, 0},
 	{"ideal", 200, 200.85352906156825, 0},
 }
 
@@ -63,7 +63,55 @@ func TestSeededReplayGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGold(t, "ping_pong1", p, goldPoint{"baldur", 373.13999999999999, 374.80593816208005, 0})
+	checkGold(t, "ping_pong1", p, goldPoint{"baldur", 373.13999999999987, 374.80593816208005, 0})
+}
+
+// TestShardCountInvariant is the end-to-end determinism guarantee of the
+// sharded engine: a full experiment cell — network construction, open-loop
+// traffic, collector statistics, drop accounting, event counts — produces
+// bit-identical Points for every shard count, on Baldur and on an
+// electrical baseline, across seeds.
+func TestShardCountInvariant(t *testing.T) {
+	for _, network := range []string{"baldur", "dragonfly"} {
+		for _, seed := range []uint64{1, 5, 23} {
+			sc := Quick
+			sc.Seed = seed
+			ref, err := RunOpenLoop(network, "random_permutation", 0.7, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Events == 0 || !ref.Finished {
+				t.Fatalf("%s seed %d: serial run empty or unfinished: %+v", network, seed, ref)
+			}
+			for _, k := range []int{2, 4, 8} {
+				scK := sc
+				scK.Shards = k
+				got, err := RunOpenLoop(network, "random_permutation", 0.7, scK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != ref {
+					t.Errorf("%s seed %d shards=%d diverged:\n got %+v\nwant %+v", network, seed, k, got, ref)
+				}
+			}
+		}
+	}
+	// The remaining electrical baselines get one lighter check each.
+	for _, network := range []string{"multibutterfly", "fattree"} {
+		ref, err := RunOpenLoop(network, "transpose", 0.5, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := Quick
+		sc.Shards = 2
+		got, err := RunOpenLoop(network, "transpose", 0.5, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("%s shards=2 diverged:\n got %+v\nwant %+v", network, got, ref)
+		}
+	}
 }
 
 // TestSeededReplayRepeatable runs the same cell twice in one process and

@@ -35,6 +35,11 @@ type Scale struct {
 	// Warmup excludes packets created before this virtual time from the
 	// latency statistics (steady-state measurement; 0 = measure all).
 	Warmup sim.Duration
+	// Shards selects the conservative-parallel shard count for each
+	// simulated network (0 or 1: serial). Results are bit-identical for
+	// any value; sharding only changes wall-clock time. Trace replays
+	// always run serially regardless of this setting.
+	Shards int
 }
 
 // Quick is the CI-sized scale. Node counts are matched as closely as the
@@ -98,7 +103,7 @@ type instance struct {
 func build(name string, sc Scale) (*instance, error) {
 	switch name {
 	case "baldur":
-		n, err := core.New(core.Config{Nodes: sc.Nodes, Seed: sc.Seed})
+		n, err := core.New(core.Config{Nodes: sc.Nodes, Seed: sc.Seed, Shards: sc.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -107,19 +112,19 @@ func build(name string, sc Scale) (*instance, error) {
 			stats: func() (uint64, uint64) { return n.Stats.DataDrops, n.Stats.DataAttempts },
 		}, nil
 	case "multibutterfly":
-		n, err := elecnet.NewMultiButterfly(elecnet.MBConfig{Nodes: sc.Nodes, Multiplicity: 4, Seed: sc.Seed})
+		n, err := elecnet.NewMultiButterfly(elecnet.MBConfig{Nodes: sc.Nodes, Multiplicity: 4, Seed: sc.Seed, Shards: sc.Shards})
 		if err != nil {
 			return nil, err
 		}
 		return &instance{name: name, net: n, stats: zeroStats}, nil
 	case "dragonfly":
-		n, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: sc.DragonflyP, Seed: sc.Seed})
+		n, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: sc.DragonflyP, Seed: sc.Seed, Shards: sc.Shards})
 		if err != nil {
 			return nil, err
 		}
 		return &instance{name: name, net: n, stats: zeroStats}, nil
 	case "fattree":
-		n, err := elecnet.NewFatTree(elecnet.FatTreeConfig{K: sc.FatTreeK})
+		n, err := elecnet.NewFatTree(elecnet.FatTreeConfig{K: sc.FatTreeK, Shards: sc.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -174,17 +179,18 @@ type Point struct {
 	Events   uint64  // simulator events executed (throughput accounting)
 }
 
-// RunOpenLoop measures one (network, pattern, load) cell.
-func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error) {
+// runOpenLoopCell measures one (network, pattern, load) cell into col,
+// whose sample and histogram allocations are reused across calls (series
+// runners sweep five loads through one collector).
+func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float64, sc Scale) (Point, netsim.Network, error) {
 	inst, err := build(network, sc)
 	if err != nil {
-		return Point{}, err
+		return Point{}, nil, err
 	}
 	pat, err := patternFor(pattern, inst.net.NumNodes(), sc)
 	if err != nil {
-		return Point{}, err
+		return Point{}, nil, err
 	}
-	var col netsim.Collector
 	col.Warmup = sim.Time(sc.Warmup)
 	col.Attach(inst.net)
 	ol := traffic.OpenLoop{
@@ -194,7 +200,7 @@ func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error)
 		Seed:           sc.Seed + 100,
 	}
 	ol.Start(inst.net)
-	more := inst.net.Engine().RunUntil(sc.maxSim())
+	more := netsim.Run(inst.net, sc.maxSim())
 	drops, attempts := inst.stats()
 	p := Point{
 		Network:  network,
@@ -202,12 +208,32 @@ func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error)
 		AvgNS:    col.AvgNS(),
 		TailNS:   col.TailNS(),
 		Finished: !more,
-		Events:   inst.net.Engine().Executed,
+		Events:   netsim.Events(inst.net),
 	}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
 	}
-	return p, nil
+	return p, inst.net, nil
+}
+
+// RunOpenLoop measures one (network, pattern, load) cell.
+func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error) {
+	var col netsim.Collector
+	p, _, err := runOpenLoopCell(&col, network, pattern, load, sc)
+	return p, err
+}
+
+// RunOpenLoopEpochs is RunOpenLoop plus the number of lockstep
+// synchronization epochs the sharded engine executed (0 for serial runs).
+// Epochs depend on the shard count, so they are reported beside the Point
+// rather than inside it, which stays bit-identical across shard counts.
+func RunOpenLoopEpochs(network, pattern string, load float64, sc Scale) (Point, uint64, error) {
+	var col netsim.Collector
+	p, net, err := runOpenLoopCell(&col, network, pattern, load, sc)
+	if err != nil {
+		return Point{}, 0, err
+	}
+	return p, netsim.Epochs(net), nil
 }
 
 // RunPingPong measures a closed-loop ping-pong workload on one network.
@@ -225,9 +251,9 @@ func RunPingPong(network, pattern string, sc Scale) (Point, error) {
 	col.Attach(inst.net)
 	pp := traffic.PingPong{Pattern: pat, Rounds: sc.PacketsPerNode}
 	pp.Start(inst.net)
-	more := inst.net.Engine().RunUntil(sc.maxSim())
+	more := netsim.Run(inst.net, sc.maxSim())
 	drops, attempts := inst.stats()
-	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more, Events: inst.net.Engine().Executed}
+	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more, Events: netsim.Events(inst.net)}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
 	}

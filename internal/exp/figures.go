@@ -62,6 +62,7 @@ func Table5(sc Scale) ([]Table5Row, error) {
 			Multiplicity:      m,
 			Seed:              sc.Seed,
 			DisableRetransmit: true,
+			Shards:            sc.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -74,7 +75,7 @@ func Table5(sc Scale) ([]Table5Row, error) {
 			Seed:           sc.Seed + 55,
 		}
 		ol.Start(n)
-		n.Engine().RunUntil(sc.maxSim())
+		n.Run(sc.maxSim())
 		rows = append(rows, Table5Row{
 			Multiplicity: m,
 			Gates:        tl.GatesPerSwitch(m),
@@ -123,33 +124,34 @@ func Fig6(sc Scale, patterns []string, loads []float64, networks []string) ([]Fi
 	if networks == nil {
 		networks = NetworkNames
 	}
-	// Every cell is an independent simulation, so fan out across CPUs.
-	type cell struct {
+	// Every (pattern, network) series is an independent simulation
+	// sequence, so fan the series out across CPUs; within a series the
+	// load points run in order through one collector, reusing its
+	// latency-sample and histogram-bucket allocations between loads.
+	type series struct {
 		pat  int
-		idx  int
+		base int // index of the first load point in Points
 		net  string
-		load float64
 	}
-	var cells []cell
+	var cells []series
 	results := make([]Fig6Result, len(patterns))
 	for pi, pat := range patterns {
 		results[pi].Pattern = pat
 		results[pi].Points = make([]Point, len(networks)*len(loads))
-		i := 0
-		for _, net := range networks {
-			for _, load := range loads {
-				cells = append(cells, cell{pat: pi, idx: i, net: net, load: load})
-				i++
-			}
+		for ni, net := range networks {
+			cells = append(cells, series{pat: pi, base: ni * len(loads), net: net})
 		}
 	}
 	err := runParallel(len(cells), func(ci int) error {
 		c := cells[ci]
-		p, err := RunOpenLoop(c.net, patterns[c.pat], c.load, sc)
-		if err != nil {
-			return fmt.Errorf("fig6 %s/%s@%.1f: %w", c.net, patterns[c.pat], c.load, err)
+		var col netsim.Collector
+		for li, load := range loads {
+			p, _, err := runOpenLoopCell(&col, c.net, patterns[c.pat], load, sc)
+			if err != nil {
+				return fmt.Errorf("fig6 %s/%s@%.1f: %w", c.net, patterns[c.pat], load, err)
+			}
+			results[c.pat].Points[c.base+li] = p
 		}
-		results[c.pat].Points[c.idx] = p
 		return nil
 	})
 	if err != nil {
@@ -232,8 +234,11 @@ func Fig7(sc Scale, networks []string) ([]Fig7Row, error) {
 	return rows, nil
 }
 
-// RunTrace replays a named HPC workload on a network.
+// RunTrace replays a named HPC workload on a network. Trace replay drives
+// the engine through serial closure callbacks, so the network is always
+// built unsharded.
 func RunTrace(network, workload string, sc Scale) (Point, error) {
+	sc.Shards = 0
 	inst, err := build(network, sc)
 	if err != nil {
 		return Point{}, err

@@ -43,8 +43,8 @@ func Profile(network, pattern string, load float64, sc Scale) (LatencyProfile, e
 		Seed:           sc.Seed + 100,
 	}
 	ol.Start(inst.net)
-	inst.net.Engine().RunUntil(sc.maxSim())
-	h := &col.Latency
+	netsim.Run(inst.net, sc.maxSim())
+	h := col.Merged()
 	return LatencyProfile{
 		Network: network,
 		Pattern: pattern,
@@ -54,8 +54,8 @@ func Profile(network, pattern string, load float64, sc Scale) (LatencyProfile, e
 		P99:     h.Quantile(0.99),
 		P999:    h.Quantile(0.999),
 		Max:     h.Max(),
-		Mean:    h.Mean(),
-		Samples: h.N(),
+		Mean:    col.AvgNS(),
+		Samples: col.Samples(),
 	}, nil
 }
 

@@ -5,24 +5,43 @@ import (
 	"sync"
 )
 
-// runParallel runs fn(0), ..., fn(n-1) concurrently with at most GOMAXPROCS
-// in flight and returns the lowest-index error, if any. Every simulation
-// cell in the experiment harness is independent (its own network instance
-// and seeded RNGs), so the figure runners fan their cells out through this
-// one helper.
+// runParallel runs fn(0), ..., fn(n-1) concurrently on a fixed pool of
+// min(n, GOMAXPROCS) workers draining a shared index channel, and returns
+// the lowest-index error, if any. Every simulation cell in the experiment
+// harness is independent (its own network instance and seeded RNGs), so the
+// figure runners fan their cells out through this one helper. A fixed pool
+// — rather than one goroutine per cell parked on a semaphore — keeps the
+// scheduler footprint at the worker count no matter how many cells a sweep
+// enqueues.
 func runParallel(n int, fn func(i int) error) error {
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -46,12 +46,13 @@ type Packet struct {
 // OnDeliver) call this when taking a packet from their pool.
 func (p *Packet) Reset() { *p = Packet{} }
 
-// Network is a simulated interconnect. Implementations are single-threaded:
-// all calls must happen from the owning goroutine, typically from within
-// engine events.
+// Network is a simulated interconnect. Implementations are externally
+// single-threaded: all calls must happen from the owning goroutine or from
+// within engine events.
 type Network interface {
-	// Engine returns the event engine driving this network. Workload
-	// generators schedule their injections on it.
+	// Engine returns the event engine driving this network (the first
+	// shard's engine on sharded networks). Serial workload generators
+	// schedule their injections on it.
 	Engine() *sim.Engine
 	// NumNodes returns the number of server nodes.
 	NumNodes() int
@@ -60,39 +61,205 @@ type Network interface {
 	Send(src, dst, size int) *Packet
 	// OnDeliver registers the delivery callback, invoked exactly once
 	// per unique data packet when its last bit reaches the destination.
+	// On sharded networks the callback runs on the destination node's
+	// shard; callbacks must only touch per-node or per-shard state.
 	OnDeliver(fn func(p *Packet, at sim.Time))
+}
+
+// Sharded is implemented by networks that support multi-shard parallel
+// execution (internal/core, internal/elecnet). Serial-only networks just
+// implement Network; the package-level helpers below fall back to the
+// engine for those.
+type Sharded interface {
+	Network
+	// Run dispatches all events up to and including deadline across every
+	// shard, folds per-shard statistics, and reports whether events remain.
+	Run(deadline sim.Time) bool
+	// Events returns the total number of dispatched events.
+	Events() uint64
+	// NumShards returns the shard count K (1 when serial).
+	NumShards() int
+	// NodeShard returns the shard owning a node's NIC.
+	NodeShard(node int) int
+	// ScheduleNode schedules ev at time t on node's shard with a
+	// deterministic per-node tie-break key. It must be called either
+	// before the run starts or from an event already executing on that
+	// node's shard.
+	ScheduleNode(node int, t sim.Time, ev sim.Event)
+}
+
+// Run drives n to the deadline: the sharded fast path when available,
+// otherwise the plain engine. It returns true if events remain queued.
+func Run(n Network, deadline sim.Time) bool {
+	if s, ok := n.(Sharded); ok {
+		return s.Run(deadline)
+	}
+	return n.Engine().RunUntil(deadline)
+}
+
+// Events returns the number of events n has dispatched.
+func Events(n Network) uint64 {
+	if s, ok := n.(Sharded); ok {
+		return s.Events()
+	}
+	return n.Engine().Executed
+}
+
+// NumShards returns n's shard count (1 for serial-only networks).
+func NumShards(n Network) int {
+	if s, ok := n.(Sharded); ok {
+		return s.NumShards()
+	}
+	return 1
+}
+
+// NodeShard returns the shard owning node (0 for serial-only networks).
+func NodeShard(n Network, node int) int {
+	if s, ok := n.(Sharded); ok {
+		return s.NodeShard(node)
+	}
+	return 0
+}
+
+// ScheduleNode schedules ev at t against node's shard. On serial-only
+// networks it uses the engine's FIFO path.
+func ScheduleNode(n Network, node int, t sim.Time, ev sim.Event) {
+	if s, ok := n.(Sharded); ok {
+		s.ScheduleNode(node, t, ev)
+		return
+	}
+	n.Engine().Schedule(t, ev)
+}
+
+// Epochs returns how many lockstep synchronization epochs n's sharded
+// engine has executed (0 for serial-only networks and single-shard runs,
+// where no barriers exist).
+func Epochs(n Network) uint64 {
+	if e, ok := n.(interface{ Epochs() uint64 }); ok {
+		return e.Epochs()
+	}
+	return 0
 }
 
 // Collector accumulates the latency statistics the paper reports: average
 // and 99th-percentile ("tail") packet latency in nanoseconds.
+//
+// Deliveries are recorded into per-shard histograms (each updated only by
+// its shard's goroutine) and exact per-node mean accumulators, then merged
+// in fixed order on demand — so the reported statistics are bit-identical
+// regardless of shard count. Attach may be called again after a run to
+// reuse the collector's allocations for another network of the same shape.
 type Collector struct {
-	Latency   stats.Histogram
-	delivered uint64
-
 	// Warmup, if set, excludes packets *created* before this virtual
 	// time from the statistics (standard steady-state measurement
 	// practice; deliveries still count toward Delivered).
 	Warmup sim.Time
+
+	shards    []colShard
+	perNode   []nodeAcc
+	nodeShard []int32
+	merged    stats.Histogram
 }
 
-// Attach subscribes the collector to a network's deliveries. Latency is
+// colShard is one shard's slice of the statistics, padded so neighbouring
+// shards' hot counters do not share a cache line.
+type colShard struct {
+	hist      stats.Histogram
+	delivered uint64
+	_         [48]byte
+}
+
+// nodeAcc is one node's exact latency sum, merged in node order for an
+// order-invariant mean.
+type nodeAcc struct {
+	sum float64
+	n   int64
+}
+
+// Attach subscribes the collector to a network's deliveries, resetting any
+// previously collected statistics while keeping allocations. Latency is
 // measured from packet creation (entering the source queue) to last-bit
 // delivery, the same definition CODES reports.
 func (c *Collector) Attach(n Network) {
+	k, nodes := NumShards(n), n.NumNodes()
+	if len(c.shards) != k {
+		c.shards = make([]colShard, k)
+	} else {
+		for i := range c.shards {
+			c.shards[i].hist.Reset()
+			c.shards[i].delivered = 0
+		}
+	}
+	if len(c.perNode) != nodes {
+		c.perNode = make([]nodeAcc, nodes)
+		c.nodeShard = make([]int32, nodes)
+	} else {
+		for i := range c.perNode {
+			c.perNode[i] = nodeAcc{}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		c.nodeShard[i] = int32(NodeShard(n, i))
+	}
+	c.merged.Reset()
 	n.OnDeliver(func(p *Packet, at sim.Time) {
-		c.delivered++
+		s := &c.shards[c.nodeShard[p.Dst]]
+		s.delivered++
 		if p.Created < c.Warmup {
 			return
 		}
-		c.Latency.Add(float64(at.Sub(p.Created).Nanoseconds()))
+		lat := float64(at.Sub(p.Created).Nanoseconds())
+		s.hist.Add(lat)
+		acc := &c.perNode[p.Dst]
+		acc.sum += lat
+		acc.n++
 	})
 }
 
 // Delivered returns the count of unique delivered packets.
-func (c *Collector) Delivered() uint64 { return c.delivered }
+func (c *Collector) Delivered() uint64 {
+	var d uint64
+	for i := range c.shards {
+		d += c.shards[i].delivered
+	}
+	return d
+}
 
-// AvgNS returns the mean packet latency in nanoseconds.
-func (c *Collector) AvgNS() float64 { return c.Latency.Mean() }
+// Samples returns the number of latency observations (post-warmup).
+func (c *Collector) Samples() int64 {
+	var n int64
+	for i := range c.perNode {
+		n += c.perNode[i].n
+	}
+	return n
+}
+
+// AvgNS returns the mean packet latency in nanoseconds, computed from exact
+// per-node sums folded in node order (shard-count invariant).
+func (c *Collector) AvgNS() float64 {
+	var sum float64
+	var n int64
+	for i := range c.perNode {
+		sum += c.perNode[i].sum
+		n += c.perNode[i].n
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
 
 // TailNS returns the 99th-percentile packet latency in nanoseconds.
-func (c *Collector) TailNS() float64 { return c.Latency.P99() }
+func (c *Collector) TailNS() float64 { return c.Merged().P99() }
+
+// Merged returns the latency histogram folded across shards in shard order,
+// recomputed on each call. Quantile queries on it are shard-count invariant
+// (they depend only on integer bucket counts and exact min/max). The result
+// is owned by the collector and valid until the next delivery or Attach.
+func (c *Collector) Merged() *stats.Histogram {
+	c.merged.Reset()
+	for i := range c.shards {
+		c.merged.Merge(&c.shards[i].hist)
+	}
+	return &c.merged
+}

@@ -54,7 +54,7 @@ func TestCollectorWarmup(t *testing.T) {
 	if c.Delivered() != 2 {
 		t.Errorf("Delivered = %d", c.Delivered())
 	}
-	if got := c.Latency.N(); got != 1 {
+	if got := c.Samples(); got != 1 {
 		t.Errorf("latency samples = %d, want 1", got)
 	}
 	if avg := c.AvgNS(); avg != 1000 {

@@ -104,6 +104,23 @@ func (e *Engine) ScheduleAfter(d Duration, ev Event) {
 	e.Schedule(e.now.Add(d), ev)
 }
 
+// ScheduleKey enqueues ev to run at absolute time t with an explicit
+// tie-break key: among events sharing a timestamp, dispatch order is
+// ascending key. Models that must execute identically regardless of how
+// their actors are spread across shards use per-actor key streams
+// (see Actor) instead of the engine-global FIFO counter, so the dispatch
+// order at every timestamp is a pure function of the model, not of queue
+// insertion order.
+//
+// Keys share the sequence space of Schedule's FIFO counter; mixing the two
+// on one engine is safe but only FIFO-deterministic for the Schedule side.
+func (e *Engine) ScheduleKey(t Time, key uint64, ev Event) {
+	if t < e.now {
+		panic("sim: event scheduled in the past: " + t.String() + " < " + e.now.String())
+	}
+	e.push(int64(t), entry{seq: key, ev: ev})
+}
+
 // At schedules fn to run at absolute time t (closure path).
 func (e *Engine) At(t Time, fn func()) {
 	f := e.fnFree
@@ -206,6 +223,35 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	}
 	e.shrinkIfDrained()
 	return e.Pending() > 0
+}
+
+// RunBefore dispatches every event with timestamp strictly less than end,
+// leaving later events queued. Unlike RunUntil it does not advance the clock
+// to end when the queue drains early: the sharded engine owns the final
+// clock advance (AdvanceTo) so a shard that goes idle mid-epoch can still
+// accept mailbox deliveries timestamped inside the epoch.
+func (e *Engine) RunBefore(end Time) {
+	e.halted = false
+	for e.Pending() > 0 && !e.halted {
+		if e.peekAt() >= end {
+			return
+		}
+		at, ev := e.next()
+		e.now = at
+		e.Executed++
+		ev.Run(e)
+	}
+}
+
+// NextTime returns the earliest pending timestamp. Callers must check
+// Pending() > 0 first.
+func (e *Engine) NextTime() Time { return e.peekAt() }
+
+// AdvanceTo moves the clock forward to t if it is not already past it.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // shrinkIfDrained releases oversized queue backing arrays once the run has

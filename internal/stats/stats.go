@@ -59,6 +59,32 @@ func (r *Running) Min() float64 { return r.min }
 // Max returns the largest observation, or 0 with no observations.
 func (r *Running) Max() float64 { return r.max }
 
+// Merge folds other into r using Chan et al.'s parallel moment update.
+// Merging the same operands in the same order is bit-reproducible, but the
+// result varies with grouping; order-sensitive consumers must merge in a
+// fixed order (e.g. ascending node ID).
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	mean := r.mean + delta*float64(other.n)/float64(n)
+	m2 := r.m2 + other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	mn, mx := r.min, r.max
+	if other.min < mn {
+		mn = other.min
+	}
+	if other.max > mx {
+		mx = other.max
+	}
+	*r = Running{n: n, mean: mean, m2: m2, min: mn, max: mx}
+}
+
 // Histogram is a logarithmically bucketed histogram of non-negative values.
 // Buckets grow geometrically so that percentile queries stay within a fixed
 // relative error (~2.4% with the default 30 buckets/octave) across the nine
@@ -166,27 +192,17 @@ func (h *Histogram) Merge(other *Histogram) {
 	for k, c := range other.buckets {
 		h.buckets[k] += c
 	}
-	// Merge the running moments using Chan et al.'s parallel update.
-	a, b := h.run, other.run
-	if b.n == 0 {
-		return
+	h.run.Merge(&other.run)
+}
+
+// Reset empties the histogram while keeping its bucket map and key cache
+// allocated, so a histogram can be reused across runs without reallocating.
+func (h *Histogram) Reset() {
+	for k := range h.buckets {
+		delete(h.buckets, k)
 	}
-	if a.n == 0 {
-		h.run = b
-		return
-	}
-	n := a.n + b.n
-	delta := b.mean - a.mean
-	mean := a.mean + delta*float64(b.n)/float64(n)
-	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
-	mn, mx := a.min, a.max
-	if b.min < mn {
-		mn = b.min
-	}
-	if b.max > mx {
-		mx = b.max
-	}
-	h.run = Running{n: n, mean: mean, m2: m2, min: mn, max: mx}
+	h.run = Running{}
+	h.sorted = h.sorted[:0]
 }
 
 // String summarizes the histogram for logs.

@@ -211,6 +211,27 @@ type OpenLoop struct {
 	Seed           uint64
 }
 
+// olInjector is one node's typed injection process. It lives on its source
+// node's shard (scheduled via netsim.ScheduleNode), so open-loop traffic
+// drives sharded networks without cross-shard Sends; the per-source RNG
+// keeps arrival times independent of every other node.
+type olInjector struct {
+	net       netsim.Network
+	src, dst  int
+	size      int
+	remaining int
+	mean      sim.Duration
+	rng       *sim.RNG
+}
+
+func (in *olInjector) Run(e *sim.Engine) {
+	in.net.Send(in.src, in.dst, in.size)
+	in.remaining--
+	if in.remaining > 0 {
+		netsim.ScheduleNode(in.net, in.src, e.Now().Add(in.rng.ExpDuration(in.mean)), in)
+	}
+}
+
 // Start schedules the injection processes on the network's engine. Call
 // before running the engine.
 func (o *OpenLoop) Start(net netsim.Network) {
@@ -222,24 +243,21 @@ func (o *OpenLoop) Start(net netsim.Network) {
 		size = 512
 	}
 	mean := MeanInterval(size, o.Load, o.LinkRate)
-	eng := net.Engine()
 	for src := 0; src < net.NumNodes(); src++ {
 		dst := o.Pattern.Dest[src]
 		if dst == -1 {
 			continue
 		}
-		src := src
-		rng := sim.NewRNG(o.Seed).Fork(uint64(src) + 1)
-		remaining := o.PacketsPerNode
-		var inject func()
-		inject = func() {
-			net.Send(src, dst, size)
-			remaining--
-			if remaining > 0 {
-				eng.After(rng.ExpDuration(mean), inject)
-			}
+		in := &olInjector{
+			net:       net,
+			src:       src,
+			dst:       dst,
+			size:      size,
+			remaining: o.PacketsPerNode,
+			mean:      mean,
+			rng:       sim.NewRNG(o.Seed).Fork(uint64(src) + 1),
 		}
-		eng.At(sim.Time(0).Add(rng.ExpDuration(mean)), inject)
+		netsim.ScheduleNode(net, src, sim.Time(0).Add(in.rng.ExpDuration(mean)), in)
 	}
 }
 
@@ -253,7 +271,25 @@ type PingPong struct {
 	PacketSize int
 }
 
+// ppStarter fires one node's opening send at t = 0, on that node's shard.
+type ppStarter struct {
+	net       netsim.Network
+	src, dst  int
+	size      int
+	remaining []int
+}
+
+func (s *ppStarter) Run(*sim.Engine) {
+	if s.remaining[s.src] > 0 {
+		s.remaining[s.src]--
+		s.net.Send(s.src, s.dst, s.size)
+	}
+}
+
 // Start wires the driver to the network. Call before running the engine.
+// Both the opening sends and the replies execute on the owning node's
+// shard: starters go through netsim.ScheduleNode and the delivery callback
+// runs where the packet lands, touching only that node's round counter.
 func (p *PingPong) Start(net netsim.Network) {
 	size := p.PacketSize
 	if size == 0 {
@@ -273,13 +309,10 @@ func (p *PingPong) Start(net netsim.Network) {
 			net.Send(me, partner, size)
 		}
 	})
-	eng := net.Engine()
-	eng.At(0, func() {
-		for src := 0; src < net.NumNodes(); src++ {
-			if p.Pattern.Dest[src] != -1 && remaining[src] > 0 {
-				remaining[src]--
-				net.Send(src, p.Pattern.Dest[src], size)
-			}
+	for src := 0; src < net.NumNodes(); src++ {
+		if dst := p.Pattern.Dest[src]; dst != -1 {
+			st := &ppStarter{net: net, src: src, dst: dst, size: size, remaining: remaining}
+			netsim.ScheduleNode(net, src, 0, st)
 		}
-	})
+	}
 }
