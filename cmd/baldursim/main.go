@@ -16,6 +16,7 @@ import (
 	"baldur/internal/exp"
 	"baldur/internal/prof"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +32,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
 		shards   = flag.Int("shards", 0, "conservative-parallel shard count (0 or 1 = serial; statistics are identical for any value)")
+		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
 	)
+	telFlags := telemetry.Flags()
 	flag.Parse()
 	defer prof.Start()()
 
@@ -45,6 +48,8 @@ func main() {
 		Seed:           *seed,
 		MaxSimTime:     sim.Duration(*maxMS * 1e9),
 		Shards:         *shards,
+		Telemetry:      telFlags(),
+		Watchdog:       sim.Microseconds(*watchdog),
 	}
 
 	var (

@@ -19,6 +19,7 @@ import (
 
 	"baldur/internal/exp"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 // result is one benchmark's measurements.
@@ -44,6 +45,7 @@ type report struct {
 var checkedBenchmarks = map[string]bool{
 	"engine_schedule_dispatch_closure": true,
 	"engine_schedule_dispatch_typed":   true,
+	"telemetry_overhead":               true,
 }
 
 // checkTolerance is the allowed ns/op growth over the committed baseline
@@ -64,6 +66,7 @@ func main() {
 		{"fig6_transpose", benchFig6Transpose},
 		{"baldur_simulator", benchBaldurSimulator},
 		{"baldur_simulator_sharded", benchBaldurSimulatorSharded},
+		{"telemetry_overhead", benchTelemetryOverhead},
 	}
 
 	rep := report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Benchmarks: make([]result, 0, len(benchmarks))}
@@ -255,6 +258,30 @@ func benchBaldurSimulatorSharded(b *testing.B) {
 	b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
 	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(totalEpochs)/b.Elapsed().Seconds(), "epochs/s")
+}
+
+// benchTelemetryOverhead is benchBaldurSimulator with the full telemetry
+// layer enabled (counters, gauges, and the flight recorder; no file
+// export): the recording tax of the instrumented path. The disabled path is
+// baldur_simulator itself — probes stay nil there, so comparing the two
+// entries' ns/op gives the full on/off cost of the observability layer.
+func benchTelemetryOverhead(b *testing.B) {
+	sc := benchScale()
+	var totalSamples, totalRecords int
+	for i := 0; i < b.N; i++ {
+		// Fresh Options per run: the harness treats them as per-run state.
+		sc.Telemetry = &telemetry.Options{}
+		_, tel, err := exp.RunOpenLoopTelemetry("baldur", "random_permutation", 0.7, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalSamples += len(tel.Sampler.Samples)
+		for s := 0; s < tel.Reg.Shards(); s++ {
+			totalRecords += tel.Ring(s).Len()
+		}
+	}
+	b.ReportMetric(float64(totalSamples)/float64(b.N), "samples/run")
+	b.ReportMetric(float64(totalRecords)/float64(b.N), "records/run")
 }
 
 func fatal(err error) {

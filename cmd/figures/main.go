@@ -20,17 +20,21 @@ import (
 
 	"baldur/internal/exp"
 	"baldur/internal/prof"
+	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: table4|table5|fig6|fig7|fig8|fig9|fig10|dropmodel|packaging|awgr|reliability|ablation|profile|all")
-		scale = flag.String("scale", "quick", "scale: quick|medium|full")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables (fig6/fig7 only)")
-		out    = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		shards = flag.Int("shards", -1, "conservative-parallel shards per simulation (-1: auto — GOMAXPROCS at full scale, serial otherwise; statistics are identical for any value)")
+		which    = flag.String("exp", "all", "experiment: table4|table5|fig6|fig7|fig8|fig9|fig10|dropmodel|packaging|awgr|reliability|ablation|profile|all")
+		scale    = flag.String("scale", "quick", "scale: quick|medium|full")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables (fig6/fig7 only)")
+		out      = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		shards   = flag.Int("shards", -1, "conservative-parallel shards per simulation (-1: auto — GOMAXPROCS at full scale, serial otherwise; statistics are identical for any value)")
+		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
 	)
+	telFlags := telemetry.Flags()
 	flag.Parse()
 	defer prof.Start()()
 
@@ -46,6 +50,9 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 	sc.Seed = *seed
+	sc.Telemetry = telFlags()
+	sc.TelemetryPerCell = true
+	sc.Watchdog = sim.Microseconds(*watchdog)
 	switch {
 	case *shards >= 0:
 		sc.Shards = *shards

@@ -19,6 +19,7 @@ import (
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
 	"baldur/internal/stats"
+	"baldur/internal/telemetry"
 	"baldur/internal/tl"
 	"baldur/internal/topo"
 )
@@ -337,6 +338,15 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 	}
 	nic.nextSeq++
 	nic.sh.stats.Injected++
+	if tp := nic.sh.tp; tp != nil {
+		tp.injected.Inc()
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: p.Created, Pkt: p.ID, Kind: telemetry.KindInject,
+				Src: int32(src), Dst: int32(dst), Loc: -1,
+			})
+		}
+	}
 	nic.enqueueData(p)
 	return p
 }
@@ -360,18 +370,25 @@ func (n *Network) Pending() bool {
 func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	m := n.cfg.Multiplicity
 	dur := n.duration
+	tp := n.fab.tp
 	if p.Ack {
 		dur = n.ackDur
 		n.fab.stats.AckAttempts++
+		if tp != nil {
+			tp.ackAttempts.Inc()
+		}
 	} else {
 		n.fab.stats.DataAttempts++
+		if tp != nil {
+			tp.dataAttempts.Inc()
+		}
 	}
 	perStage := n.cfg.SwitchLatency + n.cfg.InterStageDelay
 	sw, _ := n.mb.InjectionSwitch(p.Src)
 	t := t0
 	for s := 0; s < n.mb.Stages; s++ {
 		if n.fault != nil && n.fault.Stage == s && n.fault.Switch == sw {
-			n.drop(p, s) // the faulty switch loses everything
+			n.drop(p, s, t) // the faulty switch loses everything
 			return
 		}
 		d := n.routeBit(p, s)
@@ -397,10 +414,20 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 			// packet: bufferless drop. Wires already granted
 			// upstream still carry the dead packet's light; they
 			// stay occupied.
-			n.drop(p, s)
+			n.drop(p, s, t)
 			return
 		}
 		n.busy[s][base+found] = t.Add(dur + n.gap)
+		if tp != nil {
+			tp.hops.Inc()
+			if tp.ring != nil {
+				tp.ring.Add(telemetry.Record{
+					At: t, Dur: dur, Pkt: p.ID, Kind: telemetry.KindHop,
+					Src: int32(p.Src), Dst: int32(p.Dst),
+					Loc: int32(s), Aux: int32(sw),
+				})
+			}
+		}
 		ref := n.mb.OutWire(s, sw, d, found/w)
 		sw = ref.Switch
 		t = t.Add(perStage)
@@ -420,10 +447,23 @@ func (n *Network) routeBit(p *netsim.Packet, s int) int {
 	return n.mb.RoutingBit(p.Dst, s)
 }
 
-func (n *Network) drop(p *netsim.Packet, stage int) {
+func (n *Network) drop(p *netsim.Packet, stage int, t sim.Time) {
 	n.fab.stats.DropsByStage[stage]++
 	if n.dbgDrop != nil {
 		n.dbgDrop(p, stage)
+	}
+	if tp := n.fab.tp; tp != nil {
+		if p.Ack {
+			tp.ackDrops.Inc()
+		} else {
+			tp.dataDrops.Inc()
+		}
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: t, Pkt: p.ID, Kind: telemetry.KindDrop,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: int32(stage),
+			})
+		}
 	}
 	if p.Ack {
 		n.fab.stats.AckDrops++

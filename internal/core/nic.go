@@ -4,6 +4,7 @@ import (
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
 	"baldur/internal/stats"
+	"baldur/internal/telemetry"
 )
 
 // nic models a server node's network interface: a transmit queue feeding
@@ -135,6 +136,16 @@ func (c *nic) pump() {
 	if p.NotBefore > start {
 		start = p.NotBefore // backoff window (head-of-line by design:
 		// BEB throttles the whole transmitter, Sec IV-E)
+		if tp := c.sh.tp; tp != nil {
+			tp.blocks.Inc()
+			if tp.ring != nil {
+				tp.ring.Add(telemetry.Record{
+					At: now, Dur: start.Sub(now), Pkt: p.ID,
+					Kind: telemetry.KindBlock,
+					Src:  int32(p.Src), Dst: int32(p.Dst), Loc: -1,
+				})
+			}
+		}
 	}
 	c.popFront()
 	c.sending = true
@@ -186,6 +197,16 @@ func (c *nic) timeout(seq uint64, attempt int) {
 	n := c.net
 	p.Retries++
 	c.sh.stats.Retransmissions++
+	if tp := c.sh.tp; tp != nil {
+		tp.retransmissions.Inc()
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: c.eng.Now(), Pkt: p.ID, Kind: telemetry.KindRetransmit,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
+				Aux: int32(p.Retries),
+			})
+		}
+	}
 	if !n.cfg.DisableBEB {
 		exp := p.Retries
 		if exp > n.cfg.MaxBackoffExp {
@@ -207,6 +228,12 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 		if data, ok := c.outstanding[p.AckFor]; ok {
 			data.Acked = true
 			c.forget(data)
+			if tp := c.sh.tp; tp != nil && tp.ring != nil {
+				tp.ring.Add(telemetry.Record{
+					At: at, Pkt: data.ID, Kind: telemetry.KindAck,
+					Src: int32(data.Src), Dst: int32(data.Dst), Loc: -1,
+				})
+			}
 			lat := float64(at.Sub(data.Created).Nanoseconds())
 			c.ackLat.Add(lat)
 			// Keep the legacy live aggregate for serial callers that read
@@ -232,6 +259,9 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 		c.deliverUnique(p, at)
 	} else {
 		c.sh.stats.Duplicates++
+		if tp := c.sh.tp; tp != nil {
+			tp.duplicates.Inc()
+		}
 	}
 	ack := c.sh.acquireAck()
 	ack.ID = 0 // ACKs are anonymous
@@ -247,6 +277,15 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 func (c *nic) deliverUnique(p *netsim.Packet, at sim.Time) {
 	n := c.net
 	c.sh.stats.Delivered++
+	if tp := c.sh.tp; tp != nil {
+		tp.delivered.Inc()
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: at, Pkt: p.ID, Kind: telemetry.KindDeliver,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
+			})
+		}
+	}
 	for _, fn := range n.onDeliver {
 		fn(p, at)
 	}

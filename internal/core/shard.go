@@ -19,6 +19,9 @@ type coreShard struct {
 	stats   *Stats
 	evFree  *coreEvent
 	ackFree []*netsim.Packet
+	// tp is the shard's telemetry probe; nil (the default) disables
+	// recording, and every hook is guarded by that single nil check.
+	tp *coreProbe
 }
 
 // Partitioning: shard 0 is the optical fabric — traverse() resolves a whole

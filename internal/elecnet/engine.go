@@ -26,6 +26,7 @@ import (
 
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 // EngineConfig holds the parameters common to all buffered routers.
@@ -97,6 +98,9 @@ type eshard struct {
 	stats    *NetStats
 	stFree   *pktState
 	credFree *creditEvent
+	// tp is the shard's telemetry probe; nil (the default) disables
+	// recording, and every hook is guarded by that single nil check.
+	tp *elecProbe
 }
 
 // pktState is the in-network routing state of one packet. States are
@@ -188,8 +192,8 @@ func (f *fifo) peek() *pktState { return f.buf[f.head] }
 // that deadlock with a single FIFO under adversarial dragonfly load).
 type outPort struct {
 	queues    []fifo // per VC
-	queued    int           // total packets across queues
-	rr        int           // round-robin VC scan start
+	queued    int    // total packets across queues
+	rr        int    // round-robin VC scan start
 	busyUntil sim.Time
 	// credits[vc] counts free downstream slots of that VC.
 	credits   []int
@@ -507,6 +511,15 @@ func (n *engine) Send(src, dst, size int) *netsim.Packet {
 		Created: nic.eng.Now(),
 	}
 	nic.sh.stats.Injected++
+	if tp := nic.sh.tp; tp != nil {
+		tp.injected.Inc()
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: p.Created, Pkt: p.ID, Kind: telemetry.KindInject,
+				Src: int32(src), Dst: int32(dst), Loc: -1,
+			})
+		}
+	}
 	st := n.acquireState(nic.sh, p)
 	nic.queue.push(st)
 	n.kickNIC(nic)
@@ -549,6 +562,16 @@ func (n *engine) serviceNIC(nic *enic) {
 		st := nic.queue.peek()
 		vc := st.vc(n.cfg.VirtualChannels)
 		if nic.credits[vc] <= 0 {
+			if tp := nic.sh.tp; tp != nil {
+				tp.blocks.Inc()
+				if tp.ring != nil {
+					tp.ring.Add(telemetry.Record{
+						At: now, Pkt: st.pkt.ID, Kind: telemetry.KindBlock,
+						Src: int32(st.pkt.Src), Dst: int32(st.pkt.Dst),
+						Loc: -1, Aux: int32(vc),
+					})
+				}
+			}
 			return // waits for a credit return to kick us
 		}
 		nic.queue.pop()
@@ -574,6 +597,9 @@ func (n *engine) arrive(rid int32, in int16, st *pktState) {
 	st.hop++
 	if st.hop > r.sh.stats.MaxHops {
 		r.sh.stats.MaxHops = st.hop
+	}
+	if tp := r.sh.tp; tp != nil {
+		tp.hops.Inc()
 	}
 	out := n.route(n, r, st)
 	port := &r.out[out]
@@ -625,6 +651,9 @@ func (n *engine) servicePort(r *router, out int) {
 			break
 		}
 		if vc < 0 {
+			if tp := r.sh.tp; tp != nil {
+				tp.blocks.Inc()
+			}
 			return // every waiting VC is out of credits; a return kicks us
 		}
 		port.rr = (vc + 1) % nvc
@@ -632,6 +661,13 @@ func (n *engine) servicePort(r *router, out int) {
 		port.queued--
 		dur := n.ser(st.pkt.Size)
 		port.busyUntil = now.Add(dur)
+		if tp := r.sh.tp; tp != nil && tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: now, Dur: dur, Pkt: st.pkt.ID, Kind: telemetry.KindHop,
+				Src: int32(st.pkt.Src), Dst: int32(st.pkt.Dst),
+				Loc: r.id, Aux: int32(vc),
+			})
+		}
 
 		// Free the input slot we held on this router once the tail
 		// leaves; the credit travels back over the reverse link.
@@ -686,6 +722,15 @@ func (n *engine) scheduleCreditReturn(from *router, in int16, vc int, tailAt sim
 
 func (n *engine) deliver(sh *eshard, p *netsim.Packet, at sim.Time) {
 	sh.stats.Delivered++
+	if tp := sh.tp; tp != nil {
+		tp.delivered.Inc()
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: at, Pkt: p.ID, Kind: telemetry.KindDeliver,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
+			})
+		}
+	}
 	for _, fn := range n.onDeliver {
 		fn(p, at)
 	}

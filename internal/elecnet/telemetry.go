@@ -1,0 +1,79 @@
+package elecnet
+
+import (
+	"baldur/internal/telemetry"
+)
+
+// elecProbe is one shard's resolved telemetry handles for the buffered
+// router engine. A nil probe (the default) disables recording; every hook
+// is guarded by that single nil check.
+type elecProbe struct {
+	injected  telemetry.Count
+	delivered telemetry.Count
+	hops      telemetry.Count
+	blocks    telemetry.Count
+	ring      *telemetry.Ring
+}
+
+// AttachTelemetry registers the electrical networks' metrics and resolves
+// per-shard probes (netsim.Instrumented). It instruments the shared router
+// engine, so the multi-butterfly, dragonfly and fat-tree all report the
+// same schema. Call before the run starts, at most once.
+func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
+	reg := tel.Reg
+	injected := reg.Counter("injected")
+	delivered := reg.Counter("delivered")
+	hops := reg.Counter("hops")
+	blocks := reg.Counter("blocks")
+	srcQueued := reg.Gauge("src_queued")
+	netQueued := reg.Gauge("net_queued")
+	inFlight := reg.Gauge("in_flight")
+	portsBusy := reg.Gauge("ports_busy")
+	portsTotal := reg.Gauge("ports_total")
+	for i, sh := range n.shards {
+		sh.tp = &elecProbe{
+			injected:  reg.Count(injected, i),
+			delivered: reg.Count(delivered, i),
+			hops:      reg.Count(hops, i),
+			blocks:    reg.Count(blocks, i),
+			ring:      tel.Ring(i),
+		}
+	}
+	// Gauge refresh runs at sample barriers only — shard goroutines are
+	// parked, so walking every NIC and router is safe. Values land in shard
+	// 0's slots (gauges are instants, not sums).
+	gSrc := reg.Count(srcQueued, 0)
+	gNet := reg.Count(netQueued, 0)
+	gFlight := reg.Count(inFlight, 0)
+	gBusy := reg.Count(portsBusy, 0)
+	gTotal := reg.Count(portsTotal, 0)
+	tel.OnProbe(func() {
+		var src, queued uint64
+		for _, nic := range n.nics {
+			src += uint64(nic.queue.len())
+		}
+		now := n.Engine().Now()
+		var busy, total uint64
+		for _, r := range n.routers {
+			for pi := range r.out {
+				port := &r.out[pi]
+				queued += uint64(port.queued)
+				total++
+				if port.busyUntil > now {
+					busy++
+				}
+			}
+		}
+		gSrc.Set(src)
+		gNet.Set(queued)
+		// In flight = injected but not yet delivered (lossless network).
+		var inj, del uint64
+		for _, sh := range n.shards {
+			inj += sh.stats.Injected
+			del += sh.stats.Delivered
+		}
+		gFlight.Set(inj - del)
+		gBusy.Set(busy)
+		gTotal.Set(total)
+	})
+}

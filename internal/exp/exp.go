@@ -17,6 +17,7 @@ import (
 	"baldur/internal/elecnet"
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 	"baldur/internal/traffic"
 )
 
@@ -40,6 +41,20 @@ type Scale struct {
 	// any value; sharding only changes wall-clock time. Trace replays
 	// always run serially regardless of this setting.
 	Shards int
+	// Telemetry, when non-nil, attaches the observability layer (metric
+	// sampling, flight recorder, watch dashboard) to every instrumented
+	// network a runner builds and writes the configured exports when the
+	// cell finishes. The sampled series is bit-identical for any Shards
+	// value. The ideal network is analytic and stays uninstrumented.
+	Telemetry *telemetry.Options
+	// TelemetryPerCell tags telemetry output paths with the cell name
+	// (network-pattern-load) so multi-cell runners (Fig 6/7) do not
+	// overwrite one file per cell. cmd/figures sets this.
+	TelemetryPerCell bool
+	// Watchdog is the trace-replay progress watchdog window: if no rank
+	// advances for this much simulated time while events keep executing,
+	// the replay stops with a stuck-rank report (0 disables).
+	Watchdog sim.Duration
 }
 
 // Quick is the CI-sized scale. Node counts are matched as closely as the
@@ -137,6 +152,39 @@ func build(name string, sc Scale) (*instance, error) {
 
 func zeroStats() (uint64, uint64) { return 0, 0 }
 
+// attachTelemetry builds and attaches a telemetry layer for net when the
+// scale requests one and the network supports instrumentation (the ideal
+// network does not). cell names the run for watch lines and per-cell paths.
+func attachTelemetry(net netsim.Network, sc Scale, cell string) *telemetry.Telemetry {
+	if sc.Telemetry == nil {
+		return nil
+	}
+	in, ok := net.(netsim.Instrumented)
+	if !ok {
+		return nil
+	}
+	opts := *sc.Telemetry
+	if opts.Label == "" {
+		opts.Label = cell
+	}
+	tel := telemetry.New(opts, netsim.NumShards(net))
+	in.AttachTelemetry(tel)
+	return tel
+}
+
+// writeTelemetry exports a cell's telemetry, tagging output paths when the
+// scale runs many cells.
+func writeTelemetry(tel *telemetry.Telemetry, sc Scale, cell string) error {
+	if tel == nil {
+		return nil
+	}
+	tag := ""
+	if sc.TelemetryPerCell {
+		tag = cell
+	}
+	return tel.WriteOutputs(tag)
+}
+
 // patternFor generates a named traffic pattern sized for the given network.
 func patternFor(pattern string, nodes int, sc Scale) (*traffic.Pattern, error) {
 	// Dragonfly group size at this scale (for group_permutation and
@@ -182,14 +230,22 @@ type Point struct {
 // runOpenLoopCell measures one (network, pattern, load) cell into col,
 // whose sample and histogram allocations are reused across calls (series
 // runners sweep five loads through one collector).
-func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float64, sc Scale) (Point, netsim.Network, error) {
+func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float64, sc Scale) (Point, netsim.Network, *telemetry.Telemetry, error) {
 	inst, err := build(network, sc)
 	if err != nil {
-		return Point{}, nil, err
+		return Point{}, nil, nil, err
 	}
 	pat, err := patternFor(pattern, inst.net.NumNodes(), sc)
 	if err != nil {
-		return Point{}, nil, err
+		return Point{}, nil, nil, err
+	}
+	var cell string
+	var tel *telemetry.Telemetry
+	if sc.Telemetry != nil {
+		// Only name the cell when telemetry wants it: the Sprintf would be
+		// the sole allocation on the disabled path.
+		cell = fmt.Sprintf("%s-%s-%g", network, pattern, load)
+		tel = attachTelemetry(inst.net, sc, cell)
 	}
 	col.Warmup = sim.Time(sc.Warmup)
 	col.Attach(inst.net)
@@ -200,7 +256,7 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 		Seed:           sc.Seed + 100,
 	}
 	ol.Start(inst.net)
-	more := netsim.Run(inst.net, sc.maxSim())
+	more := netsim.RunSampled(inst.net, sc.maxSim(), tel)
 	drops, attempts := inst.stats()
 	p := Point{
 		Network:  network,
@@ -213,13 +269,16 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
 	}
-	return p, inst.net, nil
+	if err := writeTelemetry(tel, sc, cell); err != nil {
+		return Point{}, nil, nil, err
+	}
+	return p, inst.net, tel, nil
 }
 
 // RunOpenLoop measures one (network, pattern, load) cell.
 func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error) {
 	var col netsim.Collector
-	p, _, err := runOpenLoopCell(&col, network, pattern, load, sc)
+	p, _, _, err := runOpenLoopCell(&col, network, pattern, load, sc)
 	return p, err
 }
 
@@ -229,11 +288,20 @@ func RunOpenLoop(network, pattern string, load float64, sc Scale) (Point, error)
 // rather than inside it, which stays bit-identical across shard counts.
 func RunOpenLoopEpochs(network, pattern string, load float64, sc Scale) (Point, uint64, error) {
 	var col netsim.Collector
-	p, net, err := runOpenLoopCell(&col, network, pattern, load, sc)
+	p, net, _, err := runOpenLoopCell(&col, network, pattern, load, sc)
 	if err != nil {
 		return Point{}, 0, err
 	}
 	return p, netsim.Epochs(net), nil
+}
+
+// RunOpenLoopTelemetry is RunOpenLoop with the cell's telemetry layer (nil
+// when sc.Telemetry is nil or the network is uninstrumented) returned for
+// inspection — the sampled series, flight records and registry totals.
+func RunOpenLoopTelemetry(network, pattern string, load float64, sc Scale) (Point, *telemetry.Telemetry, error) {
+	var col netsim.Collector
+	p, _, tel, err := runOpenLoopCell(&col, network, pattern, load, sc)
+	return p, tel, err
 }
 
 // RunPingPong measures a closed-loop ping-pong workload on one network.
@@ -246,16 +314,25 @@ func RunPingPong(network, pattern string, sc Scale) (Point, error) {
 	if err != nil {
 		return Point{}, err
 	}
+	var cell string
+	var tel *telemetry.Telemetry
+	if sc.Telemetry != nil {
+		cell = fmt.Sprintf("%s-%s", network, pattern)
+		tel = attachTelemetry(inst.net, sc, cell)
+	}
 	var col netsim.Collector
 	col.Warmup = sim.Time(sc.Warmup)
 	col.Attach(inst.net)
 	pp := traffic.PingPong{Pattern: pat, Rounds: sc.PacketsPerNode}
 	pp.Start(inst.net)
-	more := netsim.Run(inst.net, sc.maxSim())
+	more := netsim.RunSampled(inst.net, sc.maxSim(), tel)
 	drops, attempts := inst.stats()
 	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more, Events: netsim.Events(inst.net)}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
+	}
+	if err := writeTelemetry(tel, sc, cell); err != nil {
+		return Point{}, err
 	}
 	return p, nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"baldur/internal/awgr"
@@ -13,6 +14,7 @@ import (
 	"baldur/internal/power"
 	"baldur/internal/reliability"
 	"baldur/internal/stats"
+	"baldur/internal/telemetry"
 	"baldur/internal/tl"
 	"baldur/internal/trace"
 	"baldur/internal/traffic"
@@ -146,7 +148,7 @@ func Fig6(sc Scale, patterns []string, loads []float64, networks []string) ([]Fi
 		c := cells[ci]
 		var col netsim.Collector
 		for li, load := range loads {
-			p, _, err := runOpenLoopCell(&col, c.net, patterns[c.pat], load, sc)
+			p, _, _, err := runOpenLoopCell(&col, c.net, patterns[c.pat], load, sc)
 			if err != nil {
 				return fmt.Errorf("fig6 %s/%s@%.1f: %w", c.net, patterns[c.pat], load, err)
 			}
@@ -250,13 +252,27 @@ func RunTrace(network, workload string, sc Scale) (Point, error) {
 	if w == nil {
 		return Point{}, fmt.Errorf("unknown workload %q", workload)
 	}
+	var cell string
+	var tel *telemetry.Telemetry
+	if sc.Telemetry != nil {
+		cell = fmt.Sprintf("%s-%s", network, workload)
+		tel = attachTelemetry(inst.net, sc, cell)
+	}
 	var col netsim.Collector
 	col.Attach(inst.net)
 	rep, err := trace.NewReplayer(inst.net, w)
 	if err != nil {
 		return Point{}, err
 	}
+	rep.Watchdog = sc.Watchdog
+	rep.Tel = tel
 	st := rep.Run()
+	if st.Stuck != nil {
+		fmt.Fprintln(os.Stderr, st.Stuck.String())
+	}
+	if err := writeTelemetry(tel, sc, cell); err != nil {
+		return Point{}, err
+	}
 	return Point{
 		Network:  network,
 		AvgNS:    col.AvgNS(),

@@ -13,6 +13,7 @@ package gatesim
 import (
 	"baldur/internal/optsig"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 // Fs is a femtosecond timestamp (alias of optsig.Fs).
@@ -46,6 +47,8 @@ type Circuit struct {
 	rng     *sim.RNG
 	nodes   []*node
 	lvlFree *levelEvent
+	// tp is the telemetry probe; nil (the default) disables recording.
+	tp *gateProbe
 
 	gateCount    int // active TL gates
 	passiveCount int // splitters, combiners, waveguide delays
@@ -159,6 +162,19 @@ func (c *Circuit) setLevel(n Node, level bool) {
 		return
 	}
 	nd.level = level
+	if tp := c.tp; tp != nil {
+		tp.transitions.Inc()
+		if tp.ring != nil {
+			var lvl int32
+			if level {
+				lvl = 1
+			}
+			tp.ring.Add(telemetry.Record{
+				At: c.eng.Now(), Pkt: uint64(n), Kind: telemetry.KindLevel,
+				Src: int32(n), Dst: -1, Loc: -1, Aux: lvl,
+			})
+		}
+	}
 	if nd.probe != nil {
 		nd.probe.Append(Fs(c.eng.Now()), level)
 	}

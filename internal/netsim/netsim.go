@@ -8,6 +8,7 @@ package netsim
 import (
 	"baldur/internal/sim"
 	"baldur/internal/stats"
+	"baldur/internal/telemetry"
 )
 
 // Packet is one network packet. Packets are created by Network.Send and
@@ -86,6 +87,43 @@ type Sharded interface {
 	// before the run starts or from an event already executing on that
 	// node's shard.
 	ScheduleNode(node int, t sim.Time, ev sim.Event)
+}
+
+// Instrumented is implemented by networks that can record into a telemetry
+// layer. AttachTelemetry registers the network's metrics in tel's registry,
+// resolves per-shard probe handles, and hooks a gauge-refresh callback; it
+// must be called before the run starts, at most once per network instance.
+type Instrumented interface {
+	Network
+	AttachTelemetry(tel *telemetry.Telemetry)
+}
+
+// RunSampled drives n to the deadline in telemetry-interval slices, taking
+// one metric sample at each interval boundary and a final one at the
+// deadline. Every slice boundary is a full barrier of the sharded engine,
+// so sampling composes with parallel execution without perturbing event
+// order — the sampled series is bit-identical for any shard count. With a
+// nil tel it is equivalent to Run. Returns true if events remain queued.
+func RunSampled(n Network, deadline sim.Time, tel *telemetry.Telemetry) bool {
+	if tel == nil {
+		return Run(n, deadline)
+	}
+	iv := tel.Interval()
+	for t := n.Engine().Now().Add(iv); t < deadline; t = t.Add(iv) {
+		more := Run(n, t)
+		tel.Sample(t, Events(n), Epochs(n))
+		if !more {
+			// Drained before the safety horizon: every remaining interval
+			// would be an all-zero row (and horizons are typically many
+			// thousands of intervals long). Whether events remain is
+			// invariant to the shard count, so stopping here keeps the
+			// series identical for any K.
+			return false
+		}
+	}
+	more := Run(n, deadline)
+	tel.Sample(deadline, Events(n), Epochs(n))
+	return more
 }
 
 // Run drives n to the deadline: the sharded fast path when available,

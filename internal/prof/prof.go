@@ -1,6 +1,8 @@
-// Package prof wires the conventional -cpuprofile / -memprofile flags into
-// the command-line tools so simulator hot paths can be inspected with
-// `go tool pprof` without a test harness.
+// Package prof wires the conventional -cpuprofile / -memprofile flags —
+// plus -blockprofile, -mutexprofile and -goroutineprofile for inspecting
+// sharded-engine barrier contention — into the command-line tools so
+// simulator hot paths can be inspected with `go tool pprof` without a test
+// harness.
 package prof
 
 import (
@@ -12,14 +14,27 @@ import (
 )
 
 var (
-	cpu = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	mem = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	cpu       = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem       = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	block     = flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit (enables block sampling)")
+	mutex     = flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit (enables mutex sampling)")
+	goroutine = flag.String("goroutineprofile", "", "write a goroutine dump to this file at exit")
 )
 
-// Start begins CPU profiling if -cpuprofile was given. Call it after
-// flag.Parse and defer the returned stop function; stop also writes the
-// heap profile if -memprofile was given.
+// Start begins CPU profiling if -cpuprofile was given and enables block /
+// mutex sampling only when the corresponding flags request a profile (the
+// runtime samplers are not free, so they stay off otherwise). Call it after
+// flag.Parse and defer the returned stop function; stop writes every
+// requested exit-time profile.
 func Start() (stop func()) {
+	if *block != "" {
+		// Rate 1 records every blocking event; barrier waits in the
+		// sharded engine are long enough that sampling them all is cheap.
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	if *cpu != "" {
 		f, err := os.Create(*cpu)
 		if err != nil {
@@ -31,10 +46,17 @@ func Start() (stop func()) {
 		return func() {
 			pprof.StopCPUProfile()
 			f.Close()
-			writeHeap()
+			writeExitProfiles()
 		}
 	}
-	return writeHeap
+	return writeExitProfiles
+}
+
+func writeExitProfiles() {
+	writeHeap()
+	writeLookup("block", *block)
+	writeLookup("mutex", *mutex)
+	writeLookup("goroutine", *goroutine)
 }
 
 func writeHeap() {
@@ -48,6 +70,26 @@ func writeHeap() {
 	defer f.Close()
 	runtime.GC() // materialize accurate live-heap numbers
 	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+}
+
+// writeLookup dumps a named runtime profile (block, mutex, goroutine) in
+// pprof's debug=0 wire format, ready for `go tool pprof`.
+func writeLookup(name, path string) {
+	if path == "" {
+		return
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		fatal(fmt.Errorf("unknown profile %q", name))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
 		fatal(err)
 	}
 }

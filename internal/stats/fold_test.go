@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramSingleBucket puts every observation in one bucket: all
+// quantiles must resolve inside that bucket, with q=0/q=1 returning the
+// exact tracked extremes.
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	// The bucket lattice is geometric; 100..101 stays within one bucket.
+	for i := 0; i < 1000; i++ {
+		h.Add(100 + float64(i%2))
+	}
+	if got := h.Quantile(0); got != 100 {
+		t.Errorf("Quantile(0) = %g, want exact min 100", got)
+	}
+	if got := h.Quantile(1); got != 101 {
+		t.Errorf("Quantile(1) = %g, want exact max 101", got)
+	}
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if got < 90 || got > 112 {
+			t.Errorf("Quantile(%g) = %g, want within the single bucket", q, got)
+		}
+	}
+}
+
+// shardFold distributes xs round-robin over k "shards" and folds the shard
+// histograms in ascending shard order — the Collector's merge discipline.
+func shardFold(xs []float64, k int) *Histogram {
+	shards := make([]Histogram, k)
+	for i, x := range xs {
+		shards[i%k].Add(x)
+	}
+	var m Histogram
+	for i := range shards {
+		m.Merge(&shards[i])
+	}
+	return &m
+}
+
+// TestHistogramFoldIsShardCountInvariant checks the determinism contract
+// the collector relies on: folding per-shard histograms in ascending shard
+// order yields identical quantiles for any shard count, because bucket
+// counts are integers and integer sums are order-invariant.
+func TestHistogramFoldIsShardCountInvariant(t *testing.T) {
+	xs := make([]float64, 0, 5000)
+	seed := uint64(1)
+	for i := 0; i < 5000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		xs = append(xs, 1+float64(seed>>40))
+	}
+	base := shardFold(xs, 1)
+	for _, k := range []int{2, 4, 7} {
+		m := shardFold(xs, k)
+		if m.N() != base.N() {
+			t.Fatalf("k=%d: N = %d, want %d", k, m.N(), base.N())
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			if got, want := m.Quantile(q), base.Quantile(q); got != want {
+				t.Errorf("k=%d: Quantile(%g) = %g, want %g", k, q, got, want)
+			}
+		}
+		if m.Min() != base.Min() || m.Max() != base.Max() {
+			t.Errorf("k=%d: min/max = %g/%g, want %g/%g", k, m.Min(), m.Max(), base.Min(), base.Max())
+		}
+	}
+}
+
+// TestRunningFixedOrderFoldIsReproducible checks that merging the same
+// per-shard Running accumulators in the same (ascending) order is
+// bit-for-bit reproducible, and that the pooled moments agree with a direct
+// single-pass accumulation.
+func TestRunningFixedOrderFoldIsReproducible(t *testing.T) {
+	const k = 4
+	parts := make([]Running, k)
+	var direct Running
+	for i := 0; i < 10000; i++ {
+		x := math.Sqrt(float64(i + 1))
+		parts[i%k].Add(x)
+		direct.Add(x)
+	}
+	fold := func() Running {
+		var m Running
+		for i := range parts {
+			m.Merge(&parts[i])
+		}
+		return m
+	}
+	a, b := fold(), fold()
+	if a != b {
+		t.Fatalf("identical ascending folds differ: %+v vs %+v", a, b)
+	}
+	if a.N() != direct.N() || a.Min() != direct.Min() || a.Max() != direct.Max() {
+		t.Errorf("fold n/min/max = %d/%g/%g, want %d/%g/%g",
+			a.N(), a.Min(), a.Max(), direct.N(), direct.Min(), direct.Max())
+	}
+	if math.Abs(a.Mean()-direct.Mean()) > 1e-9*direct.Mean() {
+		t.Errorf("fold mean = %g, direct %g", a.Mean(), direct.Mean())
+	}
+	if math.Abs(a.Variance()-direct.Variance()) > 1e-6*direct.Variance() {
+		t.Errorf("fold variance = %g, direct %g", a.Variance(), direct.Variance())
+	}
+}

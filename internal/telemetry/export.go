@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event "traceEvents" array.
+// Fields follow the Trace Event Format; ts/dur are in microseconds.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int32                  `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports recs as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Tracks: pid 0 is the
+// network; each source node is one thread (tid). Hops render as complete
+// ("X") slices with their wire/port occupancy as the duration; everything
+// else renders as thread-scoped instants. tickPS converts engine ticks to
+// picoseconds (1 for the network simulators, 0.001 for gatesim).
+func WriteChromeTrace(w io.Writer, recs []Record, tickPS float64, label string) error {
+	if tickPS == 0 {
+		tickPS = 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(ev *chromeEvent, first bool) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	if label == "" {
+		label = "baldur"
+	}
+	if err := enc(&chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]interface{}{"name": label},
+	}, true); err != nil {
+		return err
+	}
+	// One thread per source node, named so Perfetto's track list reads well.
+	tids := map[int32]bool{}
+	for i := range recs {
+		tids[recs[i].Src] = true
+	}
+	sorted := make([]int32, 0, len(tids))
+	for tid := range tids {
+		sorted = append(sorted, tid)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, tid := range sorted {
+		if err := enc(&chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]interface{}{"name": fmt.Sprintf("node %d", tid)},
+		}, false); err != nil {
+			return err
+		}
+	}
+	toUS := tickPS / 1e6
+	for i := range recs {
+		r := &recs[i]
+		ev := chromeEvent{
+			Name: r.Kind.String(),
+			Ts:   float64(r.At) * toUS,
+			Pid:  0,
+			Tid:  r.Src,
+			Args: map[string]interface{}{
+				"pkt": r.Pkt, "src": r.Src, "dst": r.Dst,
+				"loc": r.Loc, "aux": r.Aux,
+			},
+		}
+		if r.Kind == KindHop && r.Dur > 0 {
+			ev.Ph = "X"
+			dur := float64(r.Dur) * toUS
+			ev.Dur = &dur
+			ev.Name = fmt.Sprintf("hop@%d", r.Loc)
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		if err := enc(&ev, false); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFlightCSV exports recs in the compact CSV form:
+// at_ps,dur_ps,kind,pkt,src,dst,loc,aux.
+func WriteFlightCSV(w io.Writer, recs []Record, tickPS float64) error {
+	if tickPS == 0 {
+		tickPS = 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("at_ps,dur_ps,kind,pkt,src,dst,loc,aux\n"); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%d,%d,%d,%d\n",
+			fmtTicks(int64(r.At), tickPS), fmtTicks(int64(r.Dur), tickPS),
+			r.Kind.String(), r.Pkt, r.Src, r.Dst, r.Loc, r.Aux)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsCSV exports the sampled time series: one row per interval with
+// the counter deltas and gauge levels, plus the engine event/epoch deltas.
+func WriteMetricsCSV(w io.Writer, reg *Registry, samples []Sample, tickPS float64) error {
+	if tickPS == 0 {
+		tickPS = 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("at_ps,events,epochs"); err != nil {
+		return err
+	}
+	for _, name := range reg.Names() {
+		if _, err := bw.WriteString("," + name); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for i := range samples {
+		s := &samples[i]
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d", fmtTicks(int64(s.At), tickPS), s.Events, s.Epochs); err != nil {
+			return err
+		}
+		for _, v := range s.Values {
+			if _, err := fmt.Fprintf(bw, ",%d", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtTicks renders an engine-tick timestamp in picoseconds. Integral scales
+// stay integers; sub-picosecond ticks (gatesim femtoseconds) print as
+// minimal-width floats.
+func fmtTicks(t int64, tickPS float64) string {
+	if tickPS == 1 {
+		return strconv.FormatInt(t, 10)
+	}
+	return strconv.FormatFloat(float64(t)*tickPS, 'g', -1, 64)
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+
+	"baldur/internal/sim"
+)
+
+// Flags registers the standard observability flags (-trace-out,
+// -metrics-out, -sample-interval, -watch, -flight-records) on the default
+// flag set. Call before flag.Parse; invoke the returned function after
+// parsing — it yields nil when no telemetry output was requested, which is
+// the zero-overhead path.
+func Flags() func() *Options {
+	traceOut := flag.String("trace-out", "",
+		"write the packet flight record to this file (.json: Chrome trace events, Perfetto-loadable; .csv: compact CSV)")
+	metricsOut := flag.String("metrics-out", "",
+		"write the sampled metrics time series to this CSV file")
+	sampleUS := flag.Float64("sample-interval", 10,
+		"telemetry sampling interval in simulated microseconds")
+	watch := flag.Bool("watch", false,
+		"print one utilization/queue/drop dashboard line per sample interval to stderr")
+	records := flag.Int("flight-records", 0,
+		"per-shard flight-recorder ring capacity in records (0: default 65536)")
+	return func() *Options {
+		if *traceOut == "" && *metricsOut == "" && !*watch {
+			return nil
+		}
+		o := &Options{
+			SampleInterval: sim.Microseconds(*sampleUS),
+			FlightRecords:  *records,
+			TraceOut:       *traceOut,
+			MetricsOut:     *metricsOut,
+		}
+		if *traceOut == "" {
+			// No trace export requested: skip the ring memory entirely.
+			o.FlightRecords = -1
+		}
+		if *watch {
+			o.Watch = os.Stderr
+		}
+		return o
+	}
+}

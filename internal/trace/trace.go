@@ -14,9 +14,11 @@ package trace
 
 import (
 	"fmt"
+	"strings"
 
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 )
 
 // OpKind enumerates trace operations.
@@ -114,6 +116,55 @@ type Stats struct {
 	Makespan  sim.Duration // virtual time until the last rank finished
 	Packets   uint64       // data packets injected
 	Completed bool         // all ranks ran their program to the end
+	// Stuck is non-nil when the replay did not complete: either the
+	// watchdog tripped (events kept executing but no rank advanced for a
+	// full window) or the engine drained with ranks still blocked
+	// (deadlock). It names the blocked ranks and their pending Recv peers.
+	Stuck *StuckReport
+}
+
+// StuckRank describes one rank that has not run its program to the end.
+type StuckRank struct {
+	Rank    int
+	PC      int  // program counter it is parked at
+	Waiting bool // blocked in a Recv (else: parked mid-compute or never resumed)
+	Peer    int  // the Recv's source rank, when Waiting
+	Need    int  // packets the Recv still requires, when Waiting
+}
+
+// StuckReport diagnoses a replay that stopped making progress.
+type StuckReport struct {
+	At sim.Time // virtual time of the diagnosis
+	// Window is the no-progress window that tripped the watchdog; 0 when
+	// the engine drained outright (Deadlock).
+	Window   sim.Duration
+	Deadlock bool
+	Ranks    []StuckRank
+}
+
+// String renders the report as an actionable one-paragraph diagnostic.
+func (s *StuckReport) String() string {
+	var b strings.Builder
+	if s.Deadlock {
+		fmt.Fprintf(&b, "trace: deadlock at t=%s: engine drained with %d rank(s) blocked:",
+			s.At.String(), len(s.Ranks))
+	} else {
+		fmt.Fprintf(&b, "trace: no rank progressed for %s (t=%s), %d rank(s) blocked:",
+			s.Window.String(), s.At.String(), len(s.Ranks))
+	}
+	const maxListed = 16
+	for i, r := range s.Ranks {
+		if i == maxListed {
+			fmt.Fprintf(&b, " … and %d more", len(s.Ranks)-maxListed)
+			break
+		}
+		if r.Waiting {
+			fmt.Fprintf(&b, " rank %d pc=%d awaits %d packet(s) from rank %d;", r.Rank, r.PC, r.Need, r.Peer)
+		} else {
+			fmt.Fprintf(&b, " rank %d pc=%d not waiting;", r.Rank, r.PC)
+		}
+	}
+	return b.String()
 }
 
 // rankState is the replay state of one node.
@@ -128,11 +179,22 @@ type rankState struct {
 
 // Replayer executes a workload on a network.
 type Replayer struct {
-	net   netsim.Network
-	w     *Workload
-	ranks []*rankState
-	stats Stats
-	alive int
+	// Watchdog, when > 0, is the progress-watchdog window: if events keep
+	// executing but no rank advances its program counter for this much
+	// simulated time, the replay stops and Stats.Stuck reports the blocked
+	// ranks and their pending Recv peers instead of spinning silently.
+	Watchdog sim.Duration
+	// Tel, when non-nil, receives one metric sample per telemetry interval
+	// while the replay runs (trace replays are serial, so sampling here is
+	// a plain interval loop rather than a shard barrier).
+	Tel *telemetry.Telemetry
+
+	net      netsim.Network
+	w        *Workload
+	ranks    []*rankState
+	stats    Stats
+	alive    int
+	progress uint64 // counts rank program-counter advances
 }
 
 // NewReplayer wires a replayer to the network. The workload's node count
@@ -164,10 +226,113 @@ func (r *Replayer) Run() Stats {
 			r.step(rank)
 		}
 	})
-	eng.Run()
+	if r.Watchdog > 0 || r.Tel != nil {
+		r.runWatched(eng)
+	} else {
+		eng.Run()
+	}
 	r.stats.Makespan = eng.Now().Sub(0)
 	r.stats.Completed = r.alive == 0
+	if !r.stats.Completed && r.stats.Stuck == nil {
+		// The engine drained with ranks still blocked: a deadlock (e.g. a
+		// lossy run that exhausted retransmissions, or a circular Recv).
+		r.stats.Stuck = r.stuckReport(eng.Now(), 0, true)
+	}
 	return r.stats
+}
+
+// runWatched drives the engine in bounded slices so the replay can take
+// telemetry samples and check the progress watchdog at virtual-time
+// boundaries. Slices use RunBefore, which leaves the clock at the last
+// dispatched event, so Makespan is identical to a plain Run.
+func (r *Replayer) runWatched(eng *sim.Engine) {
+	var iv sim.Duration
+	nextSample := sim.Time(0)
+	lastSampleAt := sim.Time(-1)
+	if r.Tel != nil {
+		iv = r.Tel.Interval()
+		nextSample = eng.Now().Add(iv)
+	}
+	// The loop samples only at interval boundaries; deliveries between the
+	// last boundary and the drain (or the watchdog trip) still need a row.
+	defer func() {
+		if iv > 0 && eng.Now() > lastSampleAt {
+			r.Tel.Sample(eng.Now(), eng.Executed, 0)
+		}
+	}()
+	lastProg := r.progress
+	lastProgAt := eng.Now() // start of the current no-progress window
+	lastProgExec := eng.Executed
+	for eng.Pending() > 0 {
+		// The next boundary: the earlier of the sample tick and the
+		// watchdog checkpoint.
+		b := sim.Time(0)
+		set := false
+		if iv > 0 {
+			b, set = nextSample, true
+		}
+		if r.Watchdog > 0 {
+			if c := lastProgAt.Add(r.Watchdog); !set || c < b {
+				b, set = c, true
+			}
+		}
+		if !set {
+			eng.Run()
+			return
+		}
+		eng.RunBefore(b + 1) // inclusive of events exactly at b
+		if iv > 0 && b == nextSample {
+			r.Tel.Sample(nextSample, eng.Executed, 0)
+			lastSampleAt = nextSample
+			nextSample = nextSample.Add(iv)
+		}
+		if r.Watchdog <= 0 {
+			continue
+		}
+		switch {
+		case r.progress != lastProg:
+			// Some rank advanced inside the slice; restart the window at
+			// the boundary (conservative: the advance happened at or
+			// before b).
+			lastProg, lastProgAt, lastProgExec = r.progress, b, eng.Executed
+		case eng.Executed == lastProgExec:
+			// Nothing even executed — an idle gap (e.g. a long compute op
+			// with its wakeup far in the future). Not stuck: fast-forward
+			// the window to the next pending event.
+			if eng.Pending() > 0 && eng.NextTime() > lastProgAt {
+				lastProgAt = eng.NextTime()
+			}
+		case b >= lastProgAt.Add(r.Watchdog):
+			// Events kept executing for a full window with no rank
+			// advancing: the replay is spinning (e.g. endless
+			// retransmissions into a faulty fabric). Diagnose and stop —
+			// unless the engine drained inside the slice, which is a
+			// deadlock and is reported by Run after the loop exits.
+			if eng.Pending() == 0 {
+				continue
+			}
+			r.stats.Stuck = r.stuckReport(eng.Now(), r.Watchdog, false)
+			return
+		}
+	}
+}
+
+// stuckReport snapshots every unfinished rank.
+func (r *Replayer) stuckReport(at sim.Time, window sim.Duration, deadlock bool) *StuckReport {
+	rep := &StuckReport{At: at, Window: window, Deadlock: deadlock}
+	for rank, st := range r.ranks {
+		if st.done {
+			continue
+		}
+		rep.Ranks = append(rep.Ranks, StuckRank{
+			Rank:    rank,
+			PC:      st.pc,
+			Waiting: st.waiting,
+			Peer:    st.waitSrc,
+			Need:    st.need,
+		})
+	}
+	return rep
 }
 
 // step advances a rank until it blocks or finishes.
@@ -178,6 +343,7 @@ func (r *Replayer) step(rank int) {
 		if st.pc >= len(prog) {
 			st.done = true
 			r.alive--
+			r.progress++
 			return
 		}
 		op := prog[st.pc]
@@ -194,8 +360,10 @@ func (r *Replayer) step(rank int) {
 				r.stats.Packets++
 			}
 			st.pc++
+			r.progress++
 		case OpCompute:
 			st.pc++
+			r.progress++
 			if op.Dur > 0 {
 				r.net.Engine().After(op.Dur, func() { r.step(rank) })
 				return
@@ -206,6 +374,7 @@ func (r *Replayer) step(rank int) {
 			if avail >= need {
 				st.pending[op.Peer] = avail - need
 				st.pc++
+				r.progress++
 				continue
 			}
 			st.pending[op.Peer] = 0
@@ -229,6 +398,7 @@ func (r *Replayer) onDeliver(p *netsim.Packet, _ sim.Time) {
 		if st.need == 0 {
 			st.waiting = false
 			st.pc++
+			r.progress++
 			r.step(p.Dst)
 		}
 		return
