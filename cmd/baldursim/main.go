@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"baldur/internal/check"
 	"baldur/internal/exp"
 	"baldur/internal/prof"
 	"baldur/internal/sim"
@@ -33,6 +34,8 @@ func main() {
 		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
 		shards   = flag.Int("shards", 0, "conservative-parallel shard count (0 or 1 = serial; statistics are identical for any value)")
 		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
+		audit    = flag.Bool("audit", false, "run with the invariant-audit layer armed: conservation ledgers and pool censuses are checked at every checkpoint barrier and the run fails on the first violation")
+		auditIvl = flag.Float64("audit-interval-us", 0, "audit checkpoint interval in simulated microseconds (0: default)")
 	)
 	telFlags := telemetry.Flags()
 	flag.Parse()
@@ -50,6 +53,9 @@ func main() {
 		Shards:         *shards,
 		Telemetry:      telFlags(),
 		Watchdog:       sim.Microseconds(*watchdog),
+	}
+	if *audit {
+		sc.Audit = &check.Options{Interval: sim.Microseconds(*auditIvl)}
 	}
 
 	var (

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -109,8 +110,6 @@ func main() {
 
 // checkAgainst compares the fresh measurements against a committed baseline
 // and reports whether every gated benchmark stayed within tolerance.
-// Benchmarks present on only one side are ignored (adding a benchmark must
-// not fail the gate on the PR that introduces it).
 func checkAgainst(path string, fresh report) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -120,17 +119,40 @@ func checkAgainst(path string, fresh report) bool {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
 	}
+	ok := compare(base, fresh, os.Stderr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: engine microbenchmark regressed by more than %.0f%% vs %s\n",
+			checkTolerance*100, path)
+	}
+	return ok
+}
+
+// compare diffs the gated benchmarks of a fresh report against a baseline
+// and reports whether every one present on both sides stayed within
+// tolerance. Mismatched sets never crash and never fail the gate silently:
+// a gated benchmark missing from the baseline (the PR that introduces it) is
+// an explicit SKIP, an unusable baseline entry (ns/op <= 0) is a WARN, and a
+// gated baseline entry the run no longer produces (renamed or deleted
+// benchmark: the stale baseline should be regenerated) is a WARN.
+func compare(base, fresh report, w io.Writer) bool {
 	baseline := make(map[string]result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseline[r.Name] = r
 	}
 	ok := true
+	produced := make(map[string]bool, len(fresh.Benchmarks))
 	for _, r := range fresh.Benchmarks {
+		produced[r.Name] = true
 		if !checkedBenchmarks[r.Name] {
 			continue
 		}
 		b, found := baseline[r.Name]
-		if !found || b.NsPerOp <= 0 {
+		switch {
+		case !found:
+			fmt.Fprintf(w, "check %-36s SKIP: not in baseline (new benchmark? regenerate the baseline to gate it)\n", r.Name)
+			continue
+		case b.NsPerOp <= 0:
+			fmt.Fprintf(w, "check %-36s WARN: baseline ns/op = %g is unusable; not gated\n", r.Name, b.NsPerOp)
 			continue
 		}
 		ratio := r.NsPerOp / b.NsPerOp
@@ -139,12 +161,13 @@ func checkAgainst(path string, fresh report) bool {
 			verdict = "REGRESSION"
 			ok = false
 		}
-		fmt.Fprintf(os.Stderr, "check %-36s %8.1f -> %8.1f ns/op (%+.1f%%) %s\n",
+		fmt.Fprintf(w, "check %-36s %8.1f -> %8.1f ns/op (%+.1f%%) %s\n",
 			r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100, verdict)
 	}
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchjson: engine microbenchmark regressed by more than %.0f%% vs %s\n",
-			checkTolerance*100, path)
+	for _, b := range base.Benchmarks {
+		if checkedBenchmarks[b.Name] && !produced[b.Name] {
+			fmt.Fprintf(w, "check %-36s WARN: in baseline but not produced by this run; baseline is stale\n", b.Name)
+		}
 	}
 	return ok
 }

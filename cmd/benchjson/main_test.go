@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(rs ...result) report {
+	return report{GoOS: "linux", GoArch: "amd64", Benchmarks: rs}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})
+	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 110})
+	var out strings.Builder
+	if !compare(base, fresh, &out) {
+		t.Errorf("10%% growth failed the %.0f%% gate:\n%s", checkTolerance*100, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("no ok verdict printed:\n%s", out.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})
+	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 130})
+	var out strings.Builder
+	if compare(base, fresh, &out) {
+		t.Error("30% growth passed the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict printed:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingFromBaseline(t *testing.T) {
+	// A gated benchmark introduced by this run must be an explicit SKIP, not
+	// a crash and not a silent pass.
+	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})
+	fresh := rep(
+		result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100},
+		result{Name: "telemetry_overhead", NsPerOp: 50},
+	)
+	var out strings.Builder
+	if !compare(base, fresh, &out) {
+		t.Errorf("benchmark missing from baseline failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "telemetry_overhead") || !strings.Contains(out.String(), "SKIP: not in baseline") {
+		t.Errorf("missing-from-baseline benchmark not reported as SKIP:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingFromRun(t *testing.T) {
+	// A gated baseline entry the run no longer produces means the baseline is
+	// stale: warn loudly, don't fail (the rename PR regenerates it).
+	base := rep(
+		result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100},
+		result{Name: "telemetry_overhead", NsPerOp: 50},
+	)
+	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})
+	var out strings.Builder
+	if !compare(base, fresh, &out) {
+		t.Errorf("stale baseline entry failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "telemetry_overhead") || !strings.Contains(out.String(), "not produced by this run") {
+		t.Errorf("stale baseline entry not warned about:\n%s", out.String())
+	}
+}
+
+func TestCompareUnusableBaselineEntry(t *testing.T) {
+	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 0})
+	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})
+	var out strings.Builder
+	if !compare(base, fresh, &out) {
+		t.Errorf("zero-ns/op baseline entry failed the gate instead of warning:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "WARN") {
+		t.Errorf("unusable baseline entry not warned about:\n%s", out.String())
+	}
+}
+
+func TestCompareIgnoresUngatedBenchmarks(t *testing.T) {
+	// Experiment-level entries vary across machines and are never gated,
+	// whatever their delta.
+	base := rep(result{Name: "fig6_transpose", NsPerOp: 100})
+	fresh := rep(result{Name: "fig6_transpose", NsPerOp: 1000})
+	var out strings.Builder
+	if !compare(base, fresh, &out) {
+		t.Errorf("ungated benchmark failed the gate:\n%s", out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("ungated benchmark produced output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"testing"
+
+	"baldur/internal/sim"
+)
+
+func TestCanonIdempotent(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for i := 0; i < 500; i++ {
+		c := Random(rng, "")
+		if c != c.Canon() {
+			t.Fatalf("Random returned non-canonical config %s", c.GoLiteral())
+		}
+	}
+}
+
+func TestFromBytesDeterministic(t *testing.T) {
+	data := []byte{3, 1, 80, 9, 4, 1, 44, 120, 6, 5, 2, 7, 99}
+	a := FromBytes("baldur", data)
+	b := FromBytes("baldur", data)
+	if a != b {
+		t.Fatalf("same bytes decoded differently:\n%s\n%s", a.GoLiteral(), b.GoLiteral())
+	}
+	if a != a.Canon() {
+		t.Fatalf("FromBytes returned non-canonical config %s", a.GoLiteral())
+	}
+}
+
+func TestFromBytesShortInput(t *testing.T) {
+	// Missing bytes read as zero: every prefix of an input, including the
+	// empty one, must decode to a valid canonical config.
+	full := []byte{3, 1, 80, 9, 4, 1, 44, 120, 6, 5, 2, 7, 99}
+	for n := 0; n <= len(full); n++ {
+		c := FromBytes("baldur", full[:n])
+		if c != c.Canon() {
+			t.Fatalf("prefix length %d decoded non-canonical %s", n, c.GoLiteral())
+		}
+	}
+}
+
+// TestShrinkTerminatesOnAlwaysFail is the shrinker-oscillation regression:
+// with a config-independent failure (every candidate fails, as with the
+// seeded-skew self-test) the greedy loop must reach the global minimum in a
+// handful of evaluations. The old unconditional LoadPct=50 candidate
+// oscillated against LoadPct/2 and burned the whole budget instead.
+func TestShrinkTerminatesOnAlwaysFail(t *testing.T) {
+	rng := sim.NewRNG(3)
+	always := func(FuzzConfig) bool { return true }
+	for i := 0; i < 50; i++ {
+		cfg := Random(rng, "")
+		min, calls := Shrink(cfg, always, 200)
+		if calls >= 200 {
+			t.Fatalf("shrinker exhausted its budget on %s (oscillation?)", cfg.GoLiteral())
+		}
+		// The always-fail minimum: every candidate of min must equal min
+		// after canonicalization, i.e. no candidate list remains.
+		if cands := min.candidates(); len(cands) != 0 {
+			t.Fatalf("shrink of %s stopped at %s with %d untaken simplifications",
+				cfg.GoLiteral(), min.GoLiteral(), len(cands))
+		}
+	}
+}
+
+func TestShrinkPreservesFailure(t *testing.T) {
+	// A predicate keyed on a single field: the shrinker must keep that field
+	// while minimizing the rest.
+	cfg := FuzzConfig{Net: "baldur", NodesExp: 4, Multiplicity: 3, LoadPct: 90,
+		PacketsPerNode: 12, Shards: 5, RTONs: 4000, FaultStage: -1, Seed: 77}.Canon()
+	needsRTO := func(c FuzzConfig) bool { return c.RTONs >= 1000 }
+	min, _ := Shrink(cfg, needsRTO, 500)
+	if !needsRTO(min) {
+		t.Fatalf("shrunk config no longer fails: %s", min.GoLiteral())
+	}
+	if min.NodesExp != minNodesExp || min.PacketsPerNode != 1 || min.Multiplicity != 1 {
+		t.Errorf("irrelevant fields not minimized: %s", min.GoLiteral())
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+
+	"baldur/internal/check"
+)
+
+// FuzzDiffBaldur decodes fuzz bytes into a Baldur configuration and runs the
+// four-way differential (serial vs sharded, audit on vs off). Any stats
+// divergence or audit violation fails the target.
+//
+// CI smoke: go test -fuzz 'FuzzDiffBaldur' -fuzztime 30s ./internal/check/harness
+func FuzzDiffBaldur(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 9, 4, 1, 1, 150, 100, 3, 0, 0, 0, 42})
+	f.Add([]byte{2, 0, 17, 7, 3, 0, 0, 0, 0, 2, 0, 0, 7})  // reliability off
+	f.Add([]byte{0, 2, 12, 3, 2, 1, 94, 0, 5, 4, 1, 1, 5}) // fault injected
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := check.FromBytes("baldur", data)
+		if err := Diff(cfg); err != nil {
+			t.Fatalf("%s\n%v", cfg.GoLiteral(), err)
+		}
+	})
+}
+
+// FuzzDiffElec is the same differential over the electrical baselines; the
+// first byte selects the network.
+//
+// CI smoke: go test -fuzz 'FuzzDiffElec' -fuzztime 30s ./internal/check/harness
+func FuzzDiffElec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 2, 9, 4, 3, 0, 0, 0, 0, 0, 0, 0, 11})
+	f.Add([]byte{1, 0, 0, 17, 2, 2, 0, 0, 0, 0, 0, 0, 0, 3})
+	f.Add([]byte{2, 1, 1, 5, 8, 4, 0, 0, 0, 0, 0, 0, 0, 29})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net := "multibutterfly"
+		if len(data) > 0 {
+			net = []string{"multibutterfly", "dragonfly", "fattree"}[int(data[0])%3]
+			data = data[1:]
+		}
+		cfg := check.FromBytes(net, data)
+		if err := Diff(cfg); err != nil {
+			t.Fatalf("%s\n%v", cfg.GoLiteral(), err)
+		}
+	})
+}

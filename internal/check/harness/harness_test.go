@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"testing"
+
+	"baldur/internal/check"
+)
+
+// TestAuditAllNetworks runs every network with audits enabled at K=1 and
+// K=4 and requires zero violations and at least one checkpoint — the
+// acceptance gate of the audit layer.
+func TestAuditAllNetworks(t *testing.T) {
+	for _, net := range check.Nets {
+		for _, k := range []int{1, 4} {
+			cfg := check.FuzzConfig{
+				Net: net, NodesExp: 4, Multiplicity: 2, LoadPct: 50,
+				PacketsPerNode: 8, Shards: k, FaultStage: -1, Seed: 7,
+			}.Canon()
+			r, err := Run(cfg, k, true, 0)
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", net, k, err)
+			}
+			if r.Checkpoints == 0 {
+				t.Errorf("%s K=%d: no checkpoints ran", net, k)
+			}
+			for _, v := range r.Violations {
+				t.Errorf("%s K=%d: %s", net, k, v)
+			}
+			if !r.FP.Finished {
+				t.Errorf("%s K=%d: run hit the safety horizon", net, k)
+			}
+			if r.FP.Delivered == 0 {
+				t.Errorf("%s K=%d: nothing delivered", net, k)
+			}
+		}
+	}
+}
+
+// TestDiffSeedConfigs runs the full four-way differential over a spread of
+// hand-picked configurations covering the protocol corners: tiny RTO
+// (timeout-before-ACK retransmissions), BEB off, reliability off, a fault,
+// and each electrical network.
+func TestDiffSeedConfigs(t *testing.T) {
+	configs := []check.FuzzConfig{
+		{Net: "baldur", NodesExp: 3, Multiplicity: 2, LoadPct: 70, PacketsPerNode: 6, Shards: 3, FaultStage: -1, Seed: 3},
+		{Net: "baldur", NodesExp: 4, Multiplicity: 1, LoadPct: 90, PacketsPerNode: 8, Shards: 5, RTONs: 400, FaultStage: -1, Seed: 11},
+		{Net: "baldur", NodesExp: 3, Multiplicity: 2, LoadPct: 80, PacketsPerNode: 5, Shards: 2, RTONs: 350, DisableBEB: true, FaultStage: -1, Seed: 5},
+		{Net: "baldur", NodesExp: 2, Multiplicity: 1, LoadPct: 50, PacketsPerNode: 4, Shards: 2, DisableRetransmit: true, FaultStage: -1, Seed: 9},
+		{Net: "baldur", NodesExp: 4, Multiplicity: 3, LoadPct: 60, PacketsPerNode: 4, Shards: 4, FaultStage: 1, FaultSwitch: 3, Seed: 13},
+		{Net: "multibutterfly", NodesExp: 4, Multiplicity: 3, LoadPct: 85, PacketsPerNode: 10, Shards: 4, FaultStage: -1, Seed: 17},
+		{Net: "dragonfly", LoadPct: 75, PacketsPerNode: 4, Shards: 3, FaultStage: -1, Seed: 19},
+		{Net: "fattree", LoadPct: 65, PacketsPerNode: 9, Shards: 4, FaultStage: -1, Seed: 23},
+	}
+	for _, cfg := range configs {
+		cfg := cfg.Canon()
+		if err := Diff(cfg); err != nil {
+			t.Errorf("%s: %v", cfg.GoLiteral(), err)
+		}
+	}
+}
+
+// TestAuditDetectsSeededSkew proves the detection path end to end: a
+// deliberately skewed injected count must produce violations, and Shrink
+// must converge to a config that still fails.
+func TestAuditDetectsSeededSkew(t *testing.T) {
+	cfg := check.FuzzConfig{
+		Net: "baldur", NodesExp: 4, Multiplicity: 2, LoadPct: 70,
+		PacketsPerNode: 8, Shards: 4, RTONs: 400, FaultStage: -1, Seed: 3,
+	}.Canon()
+	if !FailsWithSkew(cfg) {
+		t.Fatal("seeded conservation skew went undetected")
+	}
+	min, calls := check.Shrink(cfg, FailsWithSkew, 200)
+	if calls == 0 {
+		t.Fatal("shrinker made no progress evaluations")
+	}
+	if !FailsWithSkew(min) {
+		t.Fatalf("shrunk config %s no longer fails", min.GoLiteral())
+	}
+	// The skew is config-independent, so the shrinker must reach the global
+	// minimum for the net: the smallest shape still failing.
+	if min.NodesExp != 2 || min.PacketsPerNode != 1 {
+		t.Errorf("shrink stopped early: %s", min.GoLiteral())
+	}
+
+	// The skew must also trip the lossless-network ledgers.
+	for _, net := range []string{"multibutterfly", "dragonfly", "fattree"} {
+		c := check.FuzzConfig{Net: net, NodesExp: 3, LoadPct: 50, PacketsPerNode: 3, Shards: 2, Seed: 5}.Canon()
+		if !FailsWithSkew(c) {
+			t.Errorf("%s: seeded skew went undetected", net)
+		}
+	}
+}
+
+// TestRunDeterminism re-runs one config and requires identical fingerprints:
+// the property every differential comparison rests on.
+func TestRunDeterminism(t *testing.T) {
+	cfg := check.FuzzConfig{
+		Net: "baldur", NodesExp: 3, Multiplicity: 2, LoadPct: 60,
+		PacketsPerNode: 5, Shards: 3, FaultStage: -1, Seed: 21,
+	}.Canon()
+	a, err := Run(cfg, cfg.Shards, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, cfg.Shards, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FP != b.FP {
+		t.Fatalf("rerun diverged:\n  a: %+v\n  b: %+v", a.FP, b.FP)
+	}
+}

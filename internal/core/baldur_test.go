@@ -351,3 +351,57 @@ func TestHeaderDuration(t *testing.T) {
 		t.Errorf("headerDuration(10) = %v", got)
 	}
 }
+
+func TestSeqTrackerDuplicateAfterRetransmit(t *testing.T) {
+	// The protocol's real duplicate source: a timeout fires before the ACK
+	// returns, the retransmitted copy arrives after the original, and the
+	// receiver must reject the second copy whether the sequence has been
+	// compacted into next or still sits in the extras spill.
+	var tr seqTracker
+	if !tr.record(0) || !tr.record(1) {
+		t.Fatal("fresh in-order seqs rejected")
+	}
+	if tr.record(0) {
+		t.Error("retransmitted copy of a compacted seq accepted")
+	}
+	if !tr.record(3) {
+		t.Fatal("fresh out-of-order seq rejected")
+	}
+	if tr.record(3) {
+		t.Error("retransmitted copy of a spilled seq accepted")
+	}
+	if !tr.record(2) {
+		t.Fatal("gap fill rejected")
+	}
+	// 2 and 3 are now compacted (next == 4); both copies must still be
+	// duplicates through the seq < next path.
+	if tr.next != 4 {
+		t.Fatalf("next = %d after compaction, want 4", tr.next)
+	}
+	if tr.record(2) || tr.record(3) {
+		t.Error("retransmitted copy accepted after compaction moved it into next")
+	}
+}
+
+func TestSeqTrackerWraparoundAdjacent(t *testing.T) {
+	// Sequences adjacent to the uint64 wraparound point arrive as spilled
+	// extras (next stays 0); dedup must hold without the next counter
+	// overflowing past them.
+	const top = ^uint64(0)
+	var tr seqTracker
+	if !tr.record(top-1) || !tr.record(top) {
+		t.Fatal("fresh near-max seqs rejected")
+	}
+	if tr.record(top-1) || tr.record(top) {
+		t.Error("duplicate near-max seq accepted")
+	}
+	if tr.next != 0 {
+		t.Errorf("next = %d, want 0 (near-max seqs must spill, not compact)", tr.next)
+	}
+	if !tr.record(0) {
+		t.Error("seq 0 rejected with near-max extras pending")
+	}
+	if tr.record(0) {
+		t.Error("duplicate seq 0 accepted")
+	}
+}

@@ -39,6 +39,9 @@ func (ev *coreEvent) Run(e *sim.Engine) {
 	ev.nic, ev.p, ev.home = nil, nil, nil
 	ev.next = home.evFree
 	home.evFree = ev
+	if home.aud != nil {
+		home.aud.ev.Put()
+	}
 	switch kind {
 	case evTransmit:
 		c.transmit(p)
@@ -58,6 +61,9 @@ func (sh *coreShard) acquireEvent() *coreEvent {
 		sh.evFree = ev.next
 	} else {
 		ev = &coreEvent{}
+	}
+	if sh.aud != nil {
+		sh.aud.ev.Get()
 	}
 	return ev
 }
@@ -100,6 +106,9 @@ func (c *nic) Run(*sim.Engine) {
 // possible ends of their life (sender receive or in-network drop), so unlike
 // data packets they can be recycled safely.
 func (sh *coreShard) acquireAck() *netsim.Packet {
+	if sh.aud != nil {
+		sh.aud.ack.Get()
+	}
 	if last := len(sh.ackFree) - 1; last >= 0 {
 		p := sh.ackFree[last]
 		sh.ackFree = sh.ackFree[:last]
@@ -110,5 +119,8 @@ func (sh *coreShard) acquireAck() *netsim.Packet {
 }
 
 func (sh *coreShard) releaseAck(p *netsim.Packet) {
+	if sh.aud != nil {
+		sh.aud.ack.Put()
+	}
 	sh.ackFree = append(sh.ackFree, p)
 }

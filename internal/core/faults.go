@@ -62,17 +62,24 @@ func (n *Network) ProbePath(src, dst int) bool {
 		panic("core: ProbePath requires a serial network (Shards <= 1)")
 	}
 	delivered := false
-	// Register a one-shot observer keyed on a sentinel size.
+	// The observer matches the probe packet by identity, not by any
+	// (src, dst, size) signature: workload packets with the same endpoints
+	// and size must not register as probe deliveries. The probe pointer is
+	// filled in when the deferred Send runs.
 	const probeSize = 64
+	var probe *netsim.Packet
+	idx := len(n.onDeliver)
 	n.OnDeliver(func(p *netsim.Packet, _ sim.Time) {
-		if p.Src == src && p.Dst == dst && p.Size == probeSize {
+		if p == probe {
 			delivered = true
 		}
 	})
 	eng := n.Engine()
-	eng.At(eng.Now(), func() { n.Send(src, dst, probeSize) })
+	eng.At(eng.Now(), func() { probe = n.Send(src, dst, probeSize) })
 	eng.Run()
-	// Remove the observer to keep ProbePath reusable.
-	n.onDeliver = n.onDeliver[:len(n.onDeliver)-1]
+	// Splice out exactly the observer registered above — not whatever
+	// happens to be last, which could be a callback someone else added
+	// while the probe was in flight.
+	n.onDeliver = append(n.onDeliver[:idx], n.onDeliver[idx+1:]...)
 	return delivered
 }

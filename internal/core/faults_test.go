@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"baldur/internal/netsim"
 	"baldur/internal/reliability"
+	"baldur/internal/sim"
 )
 
 func TestInjectFaultValidation(t *testing.T) {
@@ -107,5 +109,63 @@ func TestTestModeRestrictsPaths(t *testing.T) {
 	}
 	if drops := run(true); drops == 0 {
 		t.Error("test mode did not serialize onto a single path")
+	}
+}
+
+func TestProbePathIgnoresCoexistingWorkload(t *testing.T) {
+	// Regression: ProbePath's delivery observer used to key on the
+	// (src, dst, size=64) signature, so a coexisting 64-byte workload
+	// packet with the same endpoints registered as a probe delivery even
+	// when the probe itself was dropped.
+	//
+	// Construction: nodes 0 and 1 share the stage-0 injection switch.
+	// With multiplicity 1, a blocker from node 0 sent at t=0 wins the
+	// simultaneous stage-0 arbitration against the probe (lower actor
+	// key), so the probe is dropped. A 64-byte workload packet from the
+	// probe's own (src, dst) pair, serialized behind the probe on node 1's
+	// injection wire, arrives exactly as the blocker releases the switch
+	// and is delivered. The probe must still report failure.
+	n := mustNew(t, Config{Nodes: 64, Multiplicity: 1, Seed: 1, DisableRetransmit: true})
+	n.Send(0, 33, 0) // blocker: occupies stage-0 switch 0 when the probe's head arrives
+	n.Engine().At(sim.Time(5*sim.Nanosecond), func() {
+		n.Send(1, 33, 64) // workload packet matching the probe's old signature
+	})
+	if n.ProbePath(1, 33) {
+		t.Error("dropped probe reported delivered (workload packet matched the probe signature)")
+	}
+	if n.Stats.DataDrops != 1 {
+		t.Fatalf("construction broke: %d drops, want exactly the probe dropped", n.Stats.DataDrops)
+	}
+	if n.Stats.Delivered != 2 {
+		t.Fatalf("construction broke: %d delivered, want blocker + workload", n.Stats.Delivered)
+	}
+}
+
+func TestProbePathRemovesOnlyItsObserver(t *testing.T) {
+	// Regression: ProbePath used to strip the *last* delivery observer on
+	// exit. An observer registered while the probe was in flight landed
+	// after ProbePath's own and was removed in its place, leaving the
+	// stale probe observer armed.
+	n := mustNew(t, Config{Nodes: 16, Multiplicity: 1, Seed: 1, DisableRetransmit: true})
+	var aCount, bCount int
+	n.OnDeliver(func(*netsim.Packet, sim.Time) { aCount++ })
+	eng := n.Engine()
+	// Registered from an event at t=0: runs after ProbePath appends its
+	// observer, so B lands last in the list.
+	eng.At(0, func() {
+		n.OnDeliver(func(*netsim.Packet, sim.Time) { bCount++ })
+	})
+	if !n.ProbePath(0, 9) {
+		t.Fatal("probe lost on a healthy network")
+	}
+	if len(n.onDeliver) != 2 {
+		t.Fatalf("%d observers left after ProbePath, want the 2 user observers", len(n.onDeliver))
+	}
+	a0, b0 := aCount, bCount
+	n.Send(0, 9, 0)
+	eng.Run()
+	if aCount != a0+1 || bCount != b0+1 {
+		t.Errorf("observer counts after follow-up delivery: a +%d, b +%d, want +1 each",
+			aCount-a0, bCount-b0)
 	}
 }

@@ -124,6 +124,9 @@ func (c *nic) pump() {
 	p := c.peekFront()
 	if p.Acked {
 		// The ACK overtook the retransmission: discard silently.
+		if aud := c.sh.aud; aud != nil {
+			aud.overtaken++
+		}
 		c.popFront()
 		c.pump()
 		return
@@ -161,6 +164,9 @@ func (c *nic) transmit(p *netsim.Packet) {
 	n := c.net
 	now := c.eng.Now()
 	if p.Acked {
+		if aud := c.sh.aud; aud != nil {
+			aud.overtaken++
+		}
 		c.sending = false
 		c.pump()
 		return
@@ -240,6 +246,10 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 			// Stats without SyncStats; overwritten by the node-order merge
 			// whenever SyncStats runs.
 			c.sh.stats.AckLatency.Add(lat)
+		} else if aud := c.sh.aud; aud != nil {
+			// Late ACK for a sequence already cleared: the duplicate
+			// delivery's redundant ACK.
+			aud.unmatchedAcks++
 		}
 		c.sh.releaseAck(p)
 		return

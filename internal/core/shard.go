@@ -22,6 +22,8 @@ type coreShard struct {
 	// tp is the shard's telemetry probe; nil (the default) disables
 	// recording, and every hook is guarded by that single nil check.
 	tp *coreProbe
+	// aud is the shard's audit counters; same nil-to-disable contract.
+	aud *coreAudit
 }
 
 // Partitioning: shard 0 is the optical fabric — traverse() resolves a whole

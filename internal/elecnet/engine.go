@@ -101,6 +101,8 @@ type eshard struct {
 	// tp is the shard's telemetry probe; nil (the default) disables
 	// recording, and every hook is guarded by that single nil check.
 	tp *elecProbe
+	// aud is the shard's audit counters; same nil-to-disable contract.
+	aud *elecAudit
 }
 
 // pktState is the in-network routing state of one packet. States are
@@ -279,6 +281,9 @@ func (c *creditEvent) Run(*sim.Engine) {
 	c.nic, c.r, c.home = nil, nil, nil
 	c.next = home.credFree
 	home.credFree = c
+	if home.aud != nil {
+		home.aud.credit.Put()
+	}
 	if nic != nil {
 		nic.credits[vc]++
 		n.kickNIC(nic)
@@ -315,6 +320,9 @@ type engine struct {
 
 // acquireState returns a reset pktState from sh's pool.
 func (n *engine) acquireState(sh *eshard, p *netsim.Packet) *pktState {
+	if sh.aud != nil {
+		sh.aud.state.Get()
+	}
 	st := sh.stFree
 	if st != nil {
 		sh.stFree = st.nextFree
@@ -327,6 +335,9 @@ func (n *engine) acquireState(sh *eshard, p *netsim.Packet) *pktState {
 // releaseState frees st into its home shard's pool (the caller runs on that
 // shard).
 func (n *engine) releaseState(st *pktState) {
+	if st.home.aud != nil {
+		st.home.aud.state.Put()
+	}
 	st.pkt = nil
 	st.nextFree = st.home.stFree
 	st.home.stFree = st
@@ -348,6 +359,9 @@ func (n *engine) scheduleCredit(from *router, t sim.Time, nic *enic, r *router, 
 		src.credFree = c.next
 	} else {
 		c = &creditEvent{}
+	}
+	if src.aud != nil {
+		src.aud.credit.Get()
 	}
 	c.n, c.home, c.nic, c.r, c.port, c.vc = n, dst, nic, r, int32(port), int32(vc)
 	src.sh.Post(dst.sh, t, from.act.Next(), c)

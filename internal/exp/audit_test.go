@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"testing"
+
+	"baldur/internal/check"
+)
+
+// TestRunOpenLoopAudited drives every auditable network through the harness
+// with the invariant-audit layer armed, serial and sharded: zero violations,
+// and the measured Point must be identical to an unaudited run (auditing
+// verifies, never perturbs).
+func TestRunOpenLoopAudited(t *testing.T) {
+	sc := Quick
+	sc.PacketsPerNode = 20
+	for _, network := range []string{"baldur", "multibutterfly", "dragonfly", "fattree"} {
+		base, err := RunOpenLoop(network, "random_permutation", 0.5, sc)
+		if err != nil {
+			t.Fatalf("%s unaudited: %v", network, err)
+		}
+		for _, shards := range []int{1, 4} {
+			asc := sc
+			asc.Shards = shards
+			asc.Audit = &check.Options{}
+			p, err := RunOpenLoop(network, "random_permutation", 0.5, asc)
+			if err != nil {
+				t.Errorf("%s K=%d audited: %v", network, shards, err)
+				continue
+			}
+			if p != base {
+				t.Errorf("%s K=%d: audited point %+v != unaudited %+v", network, shards, p, base)
+			}
+		}
+	}
+}
+
+// TestRunOpenLoopAuditSkipsIdeal checks the analytic ideal network runs
+// cleanly with Audit set: it implements no audit hooks and must simply stay
+// unaudited rather than fail.
+func TestRunOpenLoopAuditSkipsIdeal(t *testing.T) {
+	sc := Quick
+	sc.PacketsPerNode = 20
+	sc.Audit = &check.Options{}
+	if _, err := RunOpenLoop("ideal", "random_permutation", 0.5, sc); err != nil {
+		t.Fatalf("ideal with Audit set: %v", err)
+	}
+}
+
+// TestRunPingPongAudited exercises the closed-loop runner's audit wiring.
+func TestRunPingPongAudited(t *testing.T) {
+	sc := Quick
+	sc.PacketsPerNode = 5
+	sc.Audit = &check.Options{}
+	p, err := RunPingPong("baldur", "ping_pong1", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Finished {
+		t.Error("audited ping-pong run did not finish")
+	}
+}

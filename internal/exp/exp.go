@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"baldur/internal/check"
 	"baldur/internal/core"
 	"baldur/internal/elecnet"
 	"baldur/internal/netsim"
@@ -41,6 +42,12 @@ type Scale struct {
 	// any value; sharding only changes wall-clock time. Trace replays
 	// always run serially regardless of this setting.
 	Shards int
+	// Audit, when non-nil, attaches the invariant-audit layer to every
+	// auditable network a runner builds and fails the run on the first
+	// checkpoint with conservation violations. The ideal network is
+	// analytic and is never audited. Auditing never changes results — only
+	// verifies them — so any Shards value stays bit-identical.
+	Audit *check.Options
 	// Telemetry, when non-nil, attaches the observability layer (metric
 	// sampling, flight recorder, watch dashboard) to every instrumented
 	// network a runner builds and writes the configured exports when the
@@ -172,6 +179,33 @@ func attachTelemetry(net netsim.Network, sc Scale, cell string) *telemetry.Telem
 	return tel
 }
 
+// attachAudit builds and attaches an invariant auditor for net when the
+// scale requests one and the network supports auditing (the ideal network
+// does not).
+func attachAudit(net netsim.Network, sc Scale) *check.Auditor {
+	if sc.Audit == nil {
+		return nil
+	}
+	au, ok := net.(netsim.Audited)
+	if !ok {
+		return nil
+	}
+	aud := check.New(*sc.Audit)
+	au.AttachAudit(aud)
+	return aud
+}
+
+// auditErr wraps an auditor's verdict with the cell it came from.
+func auditErr(aud *check.Auditor, network, pattern string) error {
+	if aud == nil {
+		return nil
+	}
+	if err := aud.Err(); err != nil {
+		return fmt.Errorf("exp: %s/%s: %w", network, pattern, err)
+	}
+	return nil
+}
+
 // writeTelemetry exports a cell's telemetry, tagging output paths when the
 // scale runs many cells.
 func writeTelemetry(tel *telemetry.Telemetry, sc Scale, cell string) error {
@@ -256,7 +290,11 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 		Seed:           sc.Seed + 100,
 	}
 	ol.Start(inst.net)
-	more := netsim.RunSampled(inst.net, sc.maxSim(), tel)
+	aud := attachAudit(inst.net, sc)
+	more := netsim.RunChecked(inst.net, sc.maxSim(), tel, aud)
+	if err := auditErr(aud, network, pattern); err != nil {
+		return Point{}, nil, nil, err
+	}
 	drops, attempts := inst.stats()
 	p := Point{
 		Network:  network,
@@ -325,7 +363,11 @@ func RunPingPong(network, pattern string, sc Scale) (Point, error) {
 	col.Attach(inst.net)
 	pp := traffic.PingPong{Pattern: pat, Rounds: sc.PacketsPerNode}
 	pp.Start(inst.net)
-	more := netsim.RunSampled(inst.net, sc.maxSim(), tel)
+	aud := attachAudit(inst.net, sc)
+	more := netsim.RunChecked(inst.net, sc.maxSim(), tel, aud)
+	if err := auditErr(aud, network, pattern); err != nil {
+		return Point{}, err
+	}
 	drops, attempts := inst.stats()
 	p := Point{Network: network, AvgNS: col.AvgNS(), TailNS: col.TailNS(), Finished: !more, Events: netsim.Events(inst.net)}
 	if attempts > 0 {

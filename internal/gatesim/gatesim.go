@@ -49,6 +49,8 @@ type Circuit struct {
 	lvlFree *levelEvent
 	// tp is the telemetry probe; nil (the default) disables recording.
 	tp *gateProbe
+	// aud is the audit pool census; same nil-to-disable contract.
+	aud *gateAudit
 
 	gateCount    int // active TL gates
 	passiveCount int // splitters, combiners, waveguide delays
@@ -68,6 +70,9 @@ func (ev *levelEvent) Run(*sim.Engine) {
 	c, out, level := ev.c, ev.out, ev.level
 	ev.next = c.lvlFree
 	c.lvlFree = ev
+	if c.aud != nil {
+		c.aud.lvl.Put()
+	}
 	c.setLevel(out, level)
 }
 
@@ -78,6 +83,9 @@ func (c *Circuit) scheduleLevel(t sim.Time, out Node, level bool) {
 		c.lvlFree = ev.next
 	} else {
 		ev = &levelEvent{c: c}
+	}
+	if c.aud != nil {
+		c.aud.lvl.Get()
 	}
 	ev.out, ev.level = out, level
 	c.eng.Schedule(t, ev)

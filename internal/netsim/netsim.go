@@ -6,6 +6,7 @@
 package netsim
 
 import (
+	"baldur/internal/check"
 	"baldur/internal/sim"
 	"baldur/internal/stats"
 	"baldur/internal/telemetry"
@@ -96,6 +97,50 @@ type Sharded interface {
 type Instrumented interface {
 	Network
 	AttachTelemetry(tel *telemetry.Telemetry)
+}
+
+// Audited is implemented by networks that can attach the invariant-audit
+// layer. AttachAudit registers the network's conservation ledgers and pool
+// censuses as checkpoint callbacks on a and arms the per-shard audit
+// counters; it must be called before the run starts, at most once per
+// network instance. Runs driven by RunChecked then evaluate every ledger at
+// each slice barrier and once more when the run drains or hits the deadline.
+type Audited interface {
+	Network
+	AttachAudit(a *check.Auditor)
+}
+
+// RunChecked drives n to the deadline like RunSampled and additionally runs
+// an audit checkpoint at every slice boundary plus a final one at the
+// drained/deadline barrier. With a nil aud it is exactly RunSampled (and
+// with both nil, exactly Run). When both telemetry and auditor are attached
+// the telemetry interval drives the slicing, so audit checkpoints land on
+// sample barriers and the telemetry-vs-stats cross-checks see matched
+// snapshots. Returns true if events remain queued.
+func RunChecked(n Network, deadline sim.Time, tel *telemetry.Telemetry, aud *check.Auditor) bool {
+	if aud == nil {
+		return RunSampled(n, deadline, tel)
+	}
+	iv := aud.Interval()
+	if tel != nil {
+		iv = tel.Interval()
+	}
+	for t := n.Engine().Now().Add(iv); t < deadline; t = t.Add(iv) {
+		more := Run(n, t)
+		if tel != nil {
+			tel.Sample(t, Events(n), Epochs(n))
+		}
+		aud.Checkpoint(t, !more)
+		if !more {
+			return false
+		}
+	}
+	more := Run(n, deadline)
+	if tel != nil {
+		tel.Sample(deadline, Events(n), Epochs(n))
+	}
+	aud.Checkpoint(deadline, !more)
+	return more
 }
 
 // RunSampled drives n to the deadline in telemetry-interval slices, taking

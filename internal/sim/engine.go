@@ -85,6 +85,30 @@ func (e *Engine) Now() Time { return e.now }
 // Pending reports the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.ats) + len(e.batch) - e.bi }
 
+// Census is a snapshot of an engine's queue and pool occupancy, taken by the
+// audit layer (internal/check) at checkpoint barriers to detect event leaks:
+// every pooled model event is either queued, in a mailbox, or parked on a
+// free list, so a cross-shard balance that drifts means a leak or a
+// double-free.
+type Census struct {
+	// Pending counts queued events, including the tie batch being
+	// dispatched (and, for sharded engines, undelivered mailbox relays).
+	Pending int
+	// FreeFuncEvents counts recycled closure adapters parked on the
+	// engine's free list.
+	FreeFuncEvents int
+}
+
+// Census walks the engine's free list and queue counters. Call only between
+// dispatches (at a barrier, or while the engine is not running).
+func (e *Engine) Census() Census {
+	n := 0
+	for f := e.fnFree; f != nil; f = f.next {
+		n++
+	}
+	return Census{Pending: e.Pending(), FreeFuncEvents: n}
+}
+
 // Schedule enqueues ev to run at absolute time t (typed fast path).
 // Scheduling in the past panics: it is always a model bug and silently
 // clamping would corrupt causality.

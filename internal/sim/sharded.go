@@ -116,6 +116,21 @@ func (se *ShardedEngine) Pending() int {
 	return n
 }
 
+// Census sums per-shard engine censuses, counting undelivered mailbox
+// relays as pending. Call only at a barrier.
+func (se *ShardedEngine) Census() Census {
+	var c Census
+	for _, sh := range se.shards {
+		ec := sh.Eng.Census()
+		c.Pending += ec.Pending
+		c.FreeFuncEvents += ec.FreeFuncEvents
+		for _, box := range sh.in {
+			c.Pending += len(box.cur) + len(box.prev)
+		}
+	}
+	return c
+}
+
 // Post schedules ev at (t, key) on shard to, from shard s. Local posts go
 // straight to the queue; cross-shard posts are appended to the destination's
 // mailbox and become visible after the next barrier. A cross-shard post

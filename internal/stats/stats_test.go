@@ -226,3 +226,28 @@ func BenchmarkHistogramQuantile(b *testing.B) {
 		h.Quantile(0.99)
 	}
 }
+
+func TestHistogramQuantileAfterReset(t *testing.T) {
+	// Reset must clear the sorted-key cache with the buckets: a reused
+	// histogram whose new population happens to have the same bucket count
+	// as the cached keys would otherwise report quantiles from dead keys.
+	var h Histogram
+	h.Add(1)
+	h.Add(1e6)
+	if got := h.Quantile(0.99); got < 0.9e6 || got > 1.1e6 {
+		t.Fatalf("p99 before reset = %g", got)
+	}
+	h.Reset()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("quantile of reset histogram = %g, want 0", got)
+	}
+	// Same bucket count (2) as before the reset, different keys.
+	h.Add(100)
+	h.Add(200)
+	if got := h.Quantile(0.99); got < 150 || got > 250 {
+		t.Errorf("p99 after reset+reuse = %g, want ~200 (dead key cache?)", got)
+	}
+	if got := h.Quantile(0.01); got < 80 || got > 130 {
+		t.Errorf("p1 after reset+reuse = %g, want ~100", got)
+	}
+}
