@@ -15,6 +15,7 @@ import (
 
 	"baldur/internal/check"
 	"baldur/internal/exp"
+	"baldur/internal/netsim"
 	"baldur/internal/prof"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
@@ -31,6 +32,7 @@ func main() {
 		dfP      = flag.Int("dragonfly-p", 4, "dragonfly parameter p (nodes = 2p^2(2p^2+1))")
 		ftK      = flag.Int("fattree-k", 16, "fat-tree radix k (nodes = k^3/4)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		fidelity = flag.String("fidelity", "packet", "evaluation tier: packet (discrete-event simulation) or twin (analytical flow-level model; open-loop patterns only)")
 		maxMS    = flag.Float64("max-sim-ms", 1000, "virtual-time safety horizon in milliseconds")
 		shards   = flag.Int("shards", 0, "conservative-parallel shard count (0 or 1 = serial; statistics are identical for any value)")
 		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
@@ -41,6 +43,12 @@ func main() {
 	flag.Parse()
 	defer prof.Start()()
 
+	fid, err := netsim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baldursim:", err)
+		os.Exit(1)
+	}
+
 	sc := exp.Scale{
 		Name:           "cli",
 		Nodes:          *nodes,
@@ -50,6 +58,7 @@ func main() {
 		TraceIters:     (*packets + 99) / 100,
 		Seed:           *seed,
 		MaxSimTime:     sim.Duration(*maxMS * 1e9),
+		Fidelity:       fid,
 		Shards:         *shards,
 		Telemetry:      telFlags(),
 		Watchdog:       sim.Microseconds(*watchdog),
@@ -58,10 +67,7 @@ func main() {
 		sc.Audit = &check.Options{Interval: sim.Microseconds(*auditIvl)}
 	}
 
-	var (
-		p   exp.Point
-		err error
-	)
+	var p exp.Point
 	switch {
 	case *workload != "":
 		p, err = exp.RunTrace(*network, *workload, sc)

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"testing"
 
+	"baldur/internal/check/calib"
 	"baldur/internal/exp"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
@@ -53,6 +54,13 @@ var checkedBenchmarks = map[string]bool{
 // before -check fails.
 const checkTolerance = 0.15
 
+// twinSpeedupFloor is the minimum wall-clock speedup the analytical twin
+// must hold over the packet engine on the twin_speedup sweep. Unlike the
+// ns/op gates this is an absolute floor on the fresh run, not a
+// baseline-relative tolerance: the twin's whole reason to exist is the
+// orders-of-magnitude ratio, so the gate pins the claim itself.
+const twinSpeedupFloor = 100.0
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
 	check := flag.String("check", "", "baseline JSON to diff against; exits 1 if an engine microbenchmark regresses by >15% ns/op")
@@ -68,6 +76,7 @@ func main() {
 		{"baldur_simulator", benchBaldurSimulator},
 		{"baldur_simulator_sharded", benchBaldurSimulatorSharded},
 		{"telemetry_overhead", benchTelemetryOverhead},
+		{"twin_speedup", benchTwinSpeedup},
 	}
 
 	rep := report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Benchmarks: make([]result, 0, len(benchmarks))}
@@ -143,6 +152,17 @@ func compare(base, fresh report, w io.Writer) bool {
 	produced := make(map[string]bool, len(fresh.Benchmarks))
 	for _, r := range fresh.Benchmarks {
 		produced[r.Name] = true
+		if r.Name == "twin_speedup" {
+			sx := r.Extra["speedup_x"]
+			verdict := "ok"
+			if sx < twinSpeedupFloor {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "check %-36s %8.0fx speedup (floor %.0fx) %s\n",
+				r.Name, sx, twinSpeedupFloor, verdict)
+			continue
+		}
 		if !checkedBenchmarks[r.Name] {
 			continue
 		}
@@ -305,6 +325,37 @@ func benchTelemetryOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalSamples)/float64(b.N), "samples/run")
 	b.ReportMetric(float64(totalRecords)/float64(b.N), "records/run")
+}
+
+// benchTwinSpeedup measures the analytical twin's wall-clock advantage over
+// the packet engine on the heavy half of a Fig-6 sweep column (every
+// network, transpose, loads 0.7 and 0.9 — the cells that dominate a real
+// sweep's wall time). Packets per node is pinned at the paper's 10,000: the
+// packet engine's cost scales linearly with per-node volume while the
+// twin's is nearly independent of it (its only O(packets) term is the
+// injection-draw replay at ~10 ns/draw), so CI-sized node counts at full
+// per-node volume reproduce the wall-time ratio that matters for real
+// sweeps. The speedup_x extra is gated by -check against an absolute
+// >=100x floor.
+func benchTwinSpeedup(b *testing.B) {
+	sc := exp.Quick
+	sc.PacketsPerNode = 10000
+	g := calib.Grid{
+		Networks: exp.NetworkNames,
+		Patterns: []string{"transpose"},
+		Loads:    []float64{0.7, 0.9},
+	}
+	var last calib.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := calib.Run(sc, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.SpeedupX, "speedup_x")
+	b.ReportMetric(last.PacketWallMS, "packet_wall_ms")
+	b.ReportMetric(last.TwinWallMS, "twin_wall_ms")
 }
 
 func fatal(err error) {

@@ -79,6 +79,29 @@ func TestCompareUnusableBaselineEntry(t *testing.T) {
 	}
 }
 
+func TestCompareTwinSpeedupFloor(t *testing.T) {
+	// twin_speedup is gated against an absolute floor on the fresh run, not
+	// a baseline-relative tolerance — it must fail below the floor even when
+	// the baseline agrees, and pass above it with no baseline entry at all.
+	low := rep(result{Name: "twin_speedup", NsPerOp: 1, Extra: map[string]float64{"speedup_x": twinSpeedupFloor / 2}})
+	var out strings.Builder
+	if compare(low, low, &out) {
+		t.Errorf("speedup below the %.0fx floor passed the gate:\n%s", twinSpeedupFloor, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict printed:\n%s", out.String())
+	}
+
+	high := rep(result{Name: "twin_speedup", NsPerOp: 1, Extra: map[string]float64{"speedup_x": twinSpeedupFloor * 2}})
+	out.Reset()
+	if !compare(rep(), high, &out) {
+		t.Errorf("speedup above the floor failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("no ok verdict printed:\n%s", out.String())
+	}
+}
+
 func TestCompareIgnoresUngatedBenchmarks(t *testing.T) {
 	// Experiment-level entries vary across machines and are never gated,
 	// whatever their delta.

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"baldur/internal/exp"
+	"baldur/internal/netsim"
 	"baldur/internal/prof"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
@@ -31,6 +32,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables (fig6/fig7 only)")
 		out      = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		fidelity = flag.String("fidelity", "packet", "evaluation tier: packet (discrete-event simulation) or twin (analytical flow-level model; open-loop cells only, e.g. -exp fig6)")
 		shards   = flag.Int("shards", -1, "conservative-parallel shards per simulation (-1: auto — GOMAXPROCS at full scale, serial otherwise; statistics are identical for any value)")
 		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
 	)
@@ -50,6 +52,11 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 	sc.Seed = *seed
+	fid, err := netsim.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Fidelity = fid
 	sc.Telemetry = telFlags()
 	sc.TelemetryPerCell = true
 	sc.Watchdog = sim.Microseconds(*watchdog)
@@ -174,10 +181,12 @@ func fig6CSV(r exp.Fig6Result) string {
 func fig7CSV(rows []exp.Fig7Row) string {
 	var out [][]string
 	for _, r := range rows {
-		for net, avg := range r.Avg {
+		// Walk the per-network maps in sorted order: map iteration order
+		// would otherwise shuffle CSV rows from run to run.
+		for _, net := range exp.SortedNetworks(r.Avg) {
 			out = append(out, []string{
 				r.Workload, net,
-				fmt.Sprintf("%.1f", avg),
+				fmt.Sprintf("%.1f", r.Avg[net]),
 				fmt.Sprintf("%.1f", r.Tail[net]),
 			})
 		}

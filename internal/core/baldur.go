@@ -202,47 +202,12 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	topoName := cfg.Topology
-	if cfg.RegularWiring {
-		topoName = "butterfly"
-	}
-	var mb *topo.MultiButterfly
-	var err error
-	switch topoName {
-	case "", "multibutterfly":
-		mb, err = topo.NewMultiButterfly(cfg.Nodes, cfg.Multiplicity, cfg.Seed)
-	case "butterfly":
-		mb, err = topo.NewRegularButterfly(cfg.Nodes, cfg.Multiplicity)
-	case "omega":
-		mb, err = topo.NewOmega(cfg.Nodes, cfg.Multiplicity)
-	case "benes":
-		mb, err = topo.NewBenes(cfg.Nodes, cfg.Multiplicity, cfg.Seed, true)
-	case "benes-regular":
-		// Regular wiring, random routing: isolates the two randomness
-		// sources (wiring vs Valiant distribution).
-		mb, err = topo.NewBenes(cfg.Nodes, cfg.Multiplicity, cfg.Seed, false)
-	default:
-		return nil, fmt.Errorf("core: unknown topology %q", cfg.Topology)
-	}
+	mb, err := buildTopo(cfg)
 	if err != nil {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, mb: mb}
-	n.duration = sim.SerializationTime(cfg.PacketSize, cfg.LinkRate) + headerDuration(mb.Stages)
-	n.ackDur = sim.SerializationTime(cfg.AckSize, cfg.LinkRate) + headerDuration(mb.Stages)
-	// A wire must stay dark for 6T (the end-of-packet window of the line
-	// activity detector) plus latch-recycle margin between packets.
-	n.gap = sim.Nanoseconds(0.25)
-	if cfg.RTO == 0 {
-		// Zero-load round trip: two host links each way, the stage
-		// pipeline each way, plus both serializations — then 3x margin
-		// for queueing at the receiver before the ACK goes out.
-		oneWay := 2*cfg.LinkDelay + sim.Duration(mb.Stages)*(cfg.SwitchLatency+cfg.InterStageDelay)
-		rtt := 2*oneWay + n.duration + n.ackDur
-		n.rto = 3 * rtt
-	} else {
-		n.rto = cfg.RTO
-	}
+	n.duration, n.ackDur, n.gap, n.rto = deriveTiming(cfg, mb)
 	n.busy = make([][]sim.Time, mb.Stages)
 	for s := range n.busy {
 		// One slot per (wire, lambda channel).

@@ -1,8 +1,6 @@
 package elecnet
 
 import (
-	"fmt"
-
 	"baldur/internal/sim"
 )
 
@@ -63,23 +61,9 @@ func DragonflyNodes(p int) int {
 
 // NewDragonfly builds the dragonfly network.
 func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
-	if cfg.P == 0 {
-		cfg.P = 4
-	}
-	if cfg.P < 1 {
-		return nil, fmt.Errorf("elecnet: dragonfly p = %d", cfg.P)
-	}
-	if cfg.IntraDelay == 0 {
-		cfg.IntraDelay = 10 * sim.Nanosecond
-	}
-	if cfg.InterDelay == 0 {
-		cfg.InterDelay = 100 * sim.Nanosecond
-	}
-	if cfg.HostDelay == 0 {
-		cfg.HostDelay = 10 * sim.Nanosecond
-	}
-	if cfg.UGALThreshold == 0 {
-		cfg.UGALThreshold = 1
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 	p := cfg.P
 	a, h := 2*p, p
@@ -88,14 +72,6 @@ func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
 
 	// Longest route (Valiant) is l-g-l-g-l = 5 router-to-router hops plus
 	// the edge hop: 7 VC levels guarantee an ascending-VC acyclic chain.
-	if cfg.Routing == "" {
-		cfg.Routing = "ugal"
-	}
-	switch cfg.Routing {
-	case "ugal", "minimal", "valiant":
-	default:
-		return nil, fmt.Errorf("elecnet: unknown dragonfly routing %q", cfg.Routing)
-	}
 	net := &Dragonfly{
 		engine: newEngine(cfg.Engine, "dragonfly", 7),
 		p:      p, a: a, h: h, g: g,

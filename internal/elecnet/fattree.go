@@ -1,8 +1,6 @@
 package elecnet
 
 import (
-	"fmt"
-
 	"baldur/internal/sim"
 )
 
@@ -39,22 +37,11 @@ func FatTreeNodes(k int) int { return k * k * k / 4 }
 
 // NewFatTree builds the fat-tree network.
 func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
-	if cfg.K == 0 {
-		cfg.K = 16
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 	k := cfg.K
-	if k < 4 || k%2 != 0 {
-		return nil, fmt.Errorf("elecnet: fat-tree k = %d, want even >= 4", k)
-	}
-	if cfg.L1Delay == 0 {
-		cfg.L1Delay = 10 * sim.Nanosecond
-	}
-	if cfg.L2Delay == 0 {
-		cfg.L2Delay = 50 * sim.Nanosecond
-	}
-	if cfg.L3Delay == 0 {
-		cfg.L3Delay = 100 * sim.Nanosecond
-	}
 	half := k / 2
 	numEdge := k * half // k pods x k/2
 	numAgg := k * half  // k pods x k/2

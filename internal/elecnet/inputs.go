@@ -1,0 +1,146 @@
+package elecnet
+
+import (
+	"fmt"
+
+	"baldur/internal/sim"
+	"baldur/internal/topo"
+)
+
+// This file exports the analytical inputs of the electrical baselines for
+// the flow-level twin (internal/twin): the effective (defaulted)
+// configurations, the routing-relevant topology parameters and, for the
+// multi-butterfly, the exact seed-driven wiring. Each With-Defaults
+// normalizer is the same one the corresponding constructor uses, so the
+// analytical model and the event-level simulator always agree on delays,
+// rates and dimensions.
+
+// IdealLatency is the flat latency of the ideal reference network.
+const IdealLatency = 200 * sim.Nanosecond
+
+func (cfg MBConfig) withDefaults() MBConfig {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1024
+	}
+	if cfg.Multiplicity == 0 {
+		cfg.Multiplicity = 4
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 100 * sim.Nanosecond
+	}
+	if cfg.InterStageDelay == 0 {
+		cfg.InterStageDelay = 10 * sim.Nanosecond
+	}
+	cfg.Engine.applyDefaults(3)
+	return cfg
+}
+
+func (cfg DragonflyConfig) withDefaults() (DragonflyConfig, error) {
+	if cfg.P == 0 {
+		cfg.P = 4
+	}
+	if cfg.P < 1 {
+		return cfg, fmt.Errorf("elecnet: dragonfly p = %d", cfg.P)
+	}
+	if cfg.IntraDelay == 0 {
+		cfg.IntraDelay = 10 * sim.Nanosecond
+	}
+	if cfg.InterDelay == 0 {
+		cfg.InterDelay = 100 * sim.Nanosecond
+	}
+	if cfg.HostDelay == 0 {
+		cfg.HostDelay = 10 * sim.Nanosecond
+	}
+	if cfg.UGALThreshold == 0 {
+		cfg.UGALThreshold = 1
+	}
+	if cfg.Routing == "" {
+		cfg.Routing = "ugal"
+	}
+	switch cfg.Routing {
+	case "ugal", "minimal", "valiant":
+	default:
+		return cfg, fmt.Errorf("elecnet: unknown dragonfly routing %q", cfg.Routing)
+	}
+	cfg.Engine.applyDefaults(7)
+	return cfg, nil
+}
+
+func (cfg FatTreeConfig) withDefaults() (FatTreeConfig, error) {
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	if cfg.K < 4 || cfg.K%2 != 0 {
+		return cfg, fmt.Errorf("elecnet: fat-tree k = %d, want even >= 4", cfg.K)
+	}
+	if cfg.L1Delay == 0 {
+		cfg.L1Delay = 10 * sim.Nanosecond
+	}
+	if cfg.L2Delay == 0 {
+		cfg.L2Delay = 50 * sim.Nanosecond
+	}
+	if cfg.L3Delay == 0 {
+		cfg.L3Delay = 100 * sim.Nanosecond
+	}
+	cfg.Engine.applyDefaults(5)
+	return cfg, nil
+}
+
+// MBInputs are the analytical inputs of the electrical multi-butterfly.
+type MBInputs struct {
+	Cfg    MBConfig // defaulted, including Cfg.Engine
+	Wiring *topo.MultiButterfly
+}
+
+// AnalyticalMB derives the multi-butterfly's analytical inputs without
+// building the event-level network.
+func AnalyticalMB(cfg MBConfig) (MBInputs, error) {
+	cfg = cfg.withDefaults()
+	wiring, err := topo.NewMultiButterfly(cfg.Nodes, cfg.Multiplicity, cfg.Seed)
+	if err != nil {
+		return MBInputs{}, fmt.Errorf("elecnet: %w", err)
+	}
+	return MBInputs{Cfg: cfg, Wiring: wiring}, nil
+}
+
+// DragonflyInputs are the analytical inputs of the dragonfly: the defaulted
+// configuration plus the derived dimensions and routing helpers.
+type DragonflyInputs struct {
+	Cfg        DragonflyConfig // defaulted, including Cfg.Engine
+	P, A, H, G int
+	Nodes      int
+}
+
+// AnalyticalDragonfly derives the dragonfly's analytical inputs.
+func AnalyticalDragonfly(cfg DragonflyConfig) (DragonflyInputs, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return DragonflyInputs{}, err
+	}
+	p := cfg.P
+	a, h := 2*p, p
+	g := a*h + 1
+	return DragonflyInputs{Cfg: cfg, P: p, A: a, H: h, G: g, Nodes: a * p * g}, nil
+}
+
+// ExitChannel returns the global channel index group G uses to reach group D
+// (the same map the simulator wires: channel c of G lands in (G+c+1)%g).
+func (in DragonflyInputs) ExitChannel(G, D int) int {
+	return (D - G - 1 + in.G) % in.G
+}
+
+// FatTreeInputs are the analytical inputs of the fat-tree.
+type FatTreeInputs struct {
+	Cfg   FatTreeConfig // defaulted, including Cfg.Engine
+	K     int
+	Hosts int
+}
+
+// AnalyticalFatTree derives the fat-tree's analytical inputs.
+func AnalyticalFatTree(cfg FatTreeConfig) (FatTreeInputs, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return FatTreeInputs{}, err
+	}
+	return FatTreeInputs{Cfg: cfg, K: cfg.K, Hosts: FatTreeNodes(cfg.K)}, nil
+}

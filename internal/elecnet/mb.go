@@ -38,18 +38,7 @@ type MBConfig struct {
 
 // NewMultiButterfly builds the electrical multi-butterfly network.
 func NewMultiButterfly(cfg MBConfig) (*MultiButterfly, error) {
-	if cfg.Nodes == 0 {
-		cfg.Nodes = 1024
-	}
-	if cfg.Multiplicity == 0 {
-		cfg.Multiplicity = 4
-	}
-	if cfg.LinkDelay == 0 {
-		cfg.LinkDelay = 100 * sim.Nanosecond
-	}
-	if cfg.InterStageDelay == 0 {
-		cfg.InterStageDelay = 10 * sim.Nanosecond
-	}
+	cfg = cfg.withDefaults()
 	wiring, err := topo.NewMultiButterfly(cfg.Nodes, cfg.Multiplicity, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("elecnet: %w", err)

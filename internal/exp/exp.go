@@ -20,6 +20,7 @@ import (
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
 	"baldur/internal/traffic"
+	"baldur/internal/twin"
 )
 
 // Scale selects the experiment size.
@@ -62,6 +63,12 @@ type Scale struct {
 	// advances for this much simulated time while events keep executing,
 	// the replay stops with a stuck-rank report (0 disables).
 	Watchdog sim.Duration
+	// Fidelity selects the model tier for open-loop cells: packet (the
+	// event-level engine, the default) or twin (the analytical flow-level
+	// model in internal/twin — microseconds per cell, calibrated against
+	// the packet engine by internal/check/calib). Workload replays and
+	// ping-pong cells are packet-only.
+	Fidelity netsim.Fidelity
 }
 
 // Quick is the CI-sized scale. Node counts are matched as closely as the
@@ -257,14 +264,22 @@ type Point struct {
 	AvgNS    float64
 	TailNS   float64
 	DropRate float64 // Baldur only; 0 for lossless networks
-	Finished bool    // false if the safety horizon cut the run short
-	Events   uint64  // simulator events executed (throughput accounting)
+	// ThroughputPPS is the delivered-packet rate over the span from start
+	// to the last delivery (virtual time). Both fidelity tiers report it;
+	// it is the throughput metric the twin calibration gates on.
+	ThroughputPPS float64
+	Finished      bool   // false if the safety horizon cut the run short
+	Events        uint64 // simulator events executed; 0 under the twin tier
 }
 
 // runOpenLoopCell measures one (network, pattern, load) cell into col,
 // whose sample and histogram allocations are reused across calls (series
 // runners sweep five loads through one collector).
 func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float64, sc Scale) (Point, netsim.Network, *telemetry.Telemetry, error) {
+	if sc.Fidelity == netsim.FidelityTwin {
+		p, err := twinOpenLoopCell(network, pattern, load, sc)
+		return p, nil, nil, err
+	}
 	inst, err := build(network, sc)
 	if err != nil {
 		return Point{}, nil, nil, err
@@ -304,6 +319,9 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 		Finished: !more,
 		Events:   netsim.Events(inst.net),
 	}
+	if last := col.LastDelivery(); last > 0 {
+		p.ThroughputPPS = float64(col.Delivered()) / sim.Duration(last).Seconds()
+	}
 	if attempts > 0 {
 		p.DropRate = float64(drops) / float64(attempts)
 	}
@@ -311,6 +329,42 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 		return Point{}, nil, nil, err
 	}
 	return p, inst.net, tel, nil
+}
+
+// twinOpenLoopCell answers one open-loop cell from the analytical tier:
+// same pattern generators, same sizing, no event simulation. Finished
+// mirrors the packet tier's safety horizon: the run finishes unless the
+// twin's makespan estimate (injection span plus backlog drain) exceeds
+// MaxSimTime — saturation alone does not cut a packet run short.
+func twinOpenLoopCell(network, pattern string, load float64, sc Scale) (Point, error) {
+	tc := twin.Config{
+		Nodes:          sc.Nodes,
+		PacketsPerNode: sc.PacketsPerNode,
+		DragonflyP:     sc.DragonflyP,
+		FatTreeK:       sc.FatTreeK,
+		Seed:           sc.Seed,
+	}
+	nodes, err := twin.NumNodes(network, tc)
+	if err != nil {
+		return Point{}, err
+	}
+	pat, err := patternFor(pattern, nodes, sc)
+	if err != nil {
+		return Point{}, err
+	}
+	tp, err := twin.EvalOpenLoop(network, pat, load, tc)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Network:       network,
+		Load:          load,
+		AvgNS:         tp.AvgNS,
+		TailNS:        tp.TailNS,
+		DropRate:      tp.DropRate,
+		ThroughputPPS: tp.ThroughputPPS,
+		Finished:      tp.MakespanS <= sim.Duration(sc.maxSim()).Seconds(),
+	}, nil
 }
 
 // RunOpenLoop measures one (network, pattern, load) cell.
@@ -330,6 +384,9 @@ func RunOpenLoopEpochs(network, pattern string, load float64, sc Scale) (Point, 
 	if err != nil {
 		return Point{}, 0, err
 	}
+	if net == nil { // twin tier: no engine, no epochs
+		return p, 0, nil
+	}
 	return p, netsim.Epochs(net), nil
 }
 
@@ -343,7 +400,12 @@ func RunOpenLoopTelemetry(network, pattern string, load float64, sc Scale) (Poin
 }
 
 // RunPingPong measures a closed-loop ping-pong workload on one network.
+// Ping-pong is packet-only: its closed-loop dependence chain has no
+// flow-level analogue in the twin.
 func RunPingPong(network, pattern string, sc Scale) (Point, error) {
+	if sc.Fidelity == netsim.FidelityTwin {
+		return Point{}, fmt.Errorf("exp: ping-pong cells are packet-only (fidelity %q)", sc.Fidelity)
+	}
 	inst, err := build(network, sc)
 	if err != nil {
 		return Point{}, err

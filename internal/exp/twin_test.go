@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"testing"
+
+	"baldur/internal/netsim"
+)
+
+// TestTwinDeterminism pins the twin tier's reproducibility contract: the
+// same (network, pattern, load, scale, seed) cell evaluates to a
+// bit-identical Point every time. The model has no hidden state — its only
+// stochastic components (injection replay, UGAL tie-break jitter) read
+// seeded streams — so even exact float equality must hold.
+func TestTwinDeterminism(t *testing.T) {
+	sc := Quick
+	sc.Fidelity = netsim.FidelityTwin
+	for _, net := range NetworkNames {
+		for _, load := range []float64{0.3, 0.9} {
+			a, err := RunOpenLoop(net, "transpose", load, sc)
+			if err != nil {
+				t.Fatalf("%s@%.1f: %v", net, load, err)
+			}
+			b, err := RunOpenLoop(net, "transpose", load, sc)
+			if err != nil {
+				t.Fatalf("%s@%.1f: %v", net, load, err)
+			}
+			if a != b {
+				t.Errorf("%s@%.1f: twin not deterministic:\n  %+v\n  %+v", net, load, a, b)
+			}
+		}
+	}
+}
+
+// TestTwinSeedSensitivity is the complement: a different seed must change
+// the answer (the stochastic components actually read the seed), while
+// keeping determinism per seed.
+func TestTwinSeedSensitivity(t *testing.T) {
+	sc := Quick
+	sc.Fidelity = netsim.FidelityTwin
+	a, err := RunOpenLoop("baldur", "transpose", 0.7, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+	b, err := RunOpenLoop("baldur", "transpose", 0.7, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("seed change left the twin's answer bit-identical; seed is not threaded through")
+	}
+}
+
+// TestTwinMonotonicity checks the model's qualitative physics across the
+// Table-VI grid: pushing more load through the same fabric never lowers the
+// mean latency or the drop rate. Each (network, pattern) row must be
+// nondecreasing in load. A small relative slack absorbs the seeded
+// finite-sample jitter on UGAL routing fractions; genuine model regressions
+// (a queueing term that collapses under load) blow through it.
+func TestTwinMonotonicity(t *testing.T) {
+	sc := Quick
+	sc.Fidelity = netsim.FidelityTwin
+	const slack = 0.02
+	for _, net := range NetworkNames {
+		for _, pat := range Fig6Patterns {
+			prevAvg, prevDrop := 0.0, 0.0
+			for _, load := range Fig6Loads {
+				p, err := RunOpenLoop(net, pat, load, sc)
+				if err != nil {
+					t.Fatalf("%s/%s@%.1f: %v", net, pat, load, err)
+				}
+				if p.AvgNS < prevAvg*(1-slack) {
+					t.Errorf("%s/%s: avg latency fell from %.1f to %.1f ns at load %.1f",
+						net, pat, prevAvg, p.AvgNS, load)
+				}
+				if p.DropRate < prevDrop*(1-slack) {
+					t.Errorf("%s/%s: drop rate fell from %.5f to %.5f at load %.1f",
+						net, pat, prevDrop, p.DropRate, load)
+				}
+				if p.AvgNS > prevAvg {
+					prevAvg = p.AvgNS
+				}
+				if p.DropRate > prevDrop {
+					prevDrop = p.DropRate
+				}
+			}
+		}
+	}
+}

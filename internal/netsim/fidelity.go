@@ -1,0 +1,29 @@
+package netsim
+
+import "fmt"
+
+// Fidelity selects the evaluation tier of an experiment cell: the
+// packet-level discrete-event simulation (every packet, every wire), or the
+// analytical twin (internal/twin) — a flow-level queueing model calibrated
+// against the packet engine that answers the same (pattern, load) cell in
+// microseconds instead of seconds.
+type Fidelity string
+
+const (
+	// FidelityPacket is the packet-level discrete-event simulation.
+	FidelityPacket Fidelity = "packet"
+	// FidelityTwin is the analytical flow-level model.
+	FidelityTwin Fidelity = "twin"
+)
+
+// ParseFidelity parses a -fidelity flag value. The empty string selects the
+// packet tier, keeping existing call sites and defaults unchanged.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", FidelityPacket:
+		return FidelityPacket, nil
+	case FidelityTwin:
+		return FidelityTwin, nil
+	}
+	return "", fmt.Errorf("netsim: unknown fidelity %q (want packet or twin)", s)
+}

@@ -249,7 +249,8 @@ type Collector struct {
 type colShard struct {
 	hist      stats.Histogram
 	delivered uint64
-	_         [48]byte
+	last      sim.Time // latest delivery seen by this shard
+	_         [40]byte
 }
 
 // nodeAcc is one node's exact latency sum, merged in node order for an
@@ -271,6 +272,7 @@ func (c *Collector) Attach(n Network) {
 		for i := range c.shards {
 			c.shards[i].hist.Reset()
 			c.shards[i].delivered = 0
+			c.shards[i].last = 0
 		}
 	}
 	if len(c.perNode) != nodes {
@@ -288,6 +290,9 @@ func (c *Collector) Attach(n Network) {
 	n.OnDeliver(func(p *Packet, at sim.Time) {
 		s := &c.shards[c.nodeShard[p.Dst]]
 		s.delivered++
+		if at > s.last {
+			s.last = at
+		}
 		if p.Created < c.Warmup {
 			return
 		}
@@ -306,6 +311,19 @@ func (c *Collector) Delivered() uint64 {
 		d += c.shards[i].delivered
 	}
 	return d
+}
+
+// LastDelivery returns the virtual time of the latest delivery, folded as a
+// max across shards (order-invariant, so the value is bit-identical for any
+// shard count). Zero when nothing was delivered.
+func (c *Collector) LastDelivery() sim.Time {
+	var last sim.Time
+	for i := range c.shards {
+		if c.shards[i].last > last {
+			last = c.shards[i].last
+		}
+	}
+	return last
 }
 
 // Samples returns the number of latency observations (post-warmup).

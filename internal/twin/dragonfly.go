@@ -1,0 +1,392 @@
+package twin
+
+import (
+	"math"
+
+	"baldur/internal/elecnet"
+	"baldur/internal/sim"
+	"baldur/internal/traffic"
+)
+
+// evalDragonfly is the analytical model of the dragonfly with UGAL routing.
+//
+// Every router output port is a single-server M/D/1 queue; a flow's offered
+// load lands on the exact port sequence the simulator's deterministic
+// minimal/Valiant walks traverse. UGAL couples routing to queueing: the
+// per-packet choice (minimal vs Valiant through intermediate group K, K
+// drawn uniformly) compares queue lengths at the source router, and queue
+// lengths depend on everyone's choices — so the model iterates a damped
+// fixed point over the per-(flow, K) Valiant fractions, with queue length
+// L = lambda * W by Little's law standing in for the simulator's integer
+// occupancy. The integer comparison's granularity is modelled as a seeded
+// per-(flow, K) tie-breaking jitter on the threshold, drawn from the same
+// RNG stream family the packet engine uses (Seed ^ 0xd4a90), so twin runs
+// respond to -seed the way packet runs do.
+//
+// Downstream ports exclude the flow's own load (its packets are serialized
+// at the NIC and cannot queue behind themselves at equal service times);
+// the NIC itself queues at the full offered load.
+func evalDragonfly(pat *traffic.Pattern, load float64, cfg Config) (Point, error) {
+	pcfg := cfg.DragonflyP
+	in, err := elecnet.AnalyticalDragonfly(elecnet.DragonflyConfig{P: pcfg, Seed: cfg.Seed})
+	if err != nil {
+		return Point{}, err
+	}
+	pp, aa, hh, gg := in.P, in.A, in.H, in.G
+	radix := pp + aa - 1 + hh
+	ser := sim.SerializationTime(in.Cfg.Engine.PacketSize, in.Cfg.Engine.LinkRate).Seconds()
+	rl := in.Cfg.Engine.RouterLatency.Seconds()
+	hostD := in.Cfg.HostDelay.Seconds()
+	intraD := in.Cfg.IntraDelay.Seconds()
+	interD := in.Cfg.InterDelay.Seconds()
+	thr := float64(in.Cfg.UGALThreshold)
+
+	fl, interval := openFlows(pat, load, cfg)
+	if len(fl) == 0 {
+		return Point{}, nil
+	}
+	T := interval * float64(cfg.PacketsPerNode)
+
+	rid := func(G, A int) int { return G*aa + A }
+	localPort := func(A, B int) int {
+		if B < A {
+			return pp + B
+		}
+		return pp + B - 1
+	}
+
+	// hop is one output-port visit with its head-latency contribution
+	// (link delay + router latency; ejection adds only the host link).
+	type hop struct {
+		port int
+		lat  float64
+	}
+	// walkTo appends the minimal hops from router r to group target and
+	// returns the entry router.
+	walkTo := func(r, target int, hops []hop) (int, []hop) {
+		for r/aa != target {
+			G, A := r/aa, r%aa
+			c := in.ExitChannel(G, target)
+			owner := c / hh
+			if A != owner {
+				hops = append(hops, hop{r*radix + localPort(A, owner), intraD + rl})
+				r = rid(G, owner)
+				continue
+			}
+			hops = append(hops, hop{r*radix + pp + aa - 1 + c%hh, interD + rl})
+			r = rid(target, (gg-2-c)/hh)
+		}
+		return r, hops
+	}
+	walkMin := func(r, dstR, dstPort int, hops []hop) []hop {
+		r, hops = walkTo(r, dstR/aa, hops)
+		if r != dstR {
+			hops = append(hops, hop{r*radix + localPort(r%aa, dstR%aa), intraD + rl})
+			r = dstR
+		}
+		return append(hops, hop{r*radix + dstPort, hostD})
+	}
+	baseOf := func(hops []hop) float64 {
+		b := hostD + rl + ser
+		for _, h := range hops {
+			b += h.lat
+		}
+		return b
+	}
+
+	// Per-flow routes: the minimal path plus one Valiant path per valid
+	// intermediate group, and the seeded tie-breaking jitter per (flow, K).
+	type route struct {
+		minHops []hop
+		valHops [][]hop   // indexed by K; nil when invalid
+		jitter  []float64 // indexed by K
+		vm      []float64 // Valiant fraction per K (the fixed-point state)
+		inter   bool
+	}
+	routes := make([]route, len(fl))
+	rng := sim.NewRNG(cfg.Seed ^ 0xd4a90)
+	for i, ff := range fl {
+		srcR, dstR, dstPort := ff.src/pp, ff.dst/pp, ff.dst%pp
+		rt := route{minHops: walkMin(srcR, dstR, dstPort, nil)}
+		if srcR/aa != dstR/aa {
+			rt.inter = true
+			rt.valHops = make([][]hop, gg)
+			rt.jitter = make([]float64, gg)
+			rt.vm = make([]float64, gg)
+			fr := rng.Fork(uint64(i) + 1)
+			for K := 0; K < gg; K++ {
+				if K == srcR/aa || K == dstR/aa {
+					continue
+				}
+				r, hops := walkTo(srcR, K, nil)
+				rt.valHops[K] = walkMin(r, dstR, dstPort, hops)
+				rt.jitter[K] = fr.Float64() - 0.5
+			}
+		}
+		routes[i] = rt
+	}
+
+	// Damped fixed point over the Valiant fractions.
+	lamOcc := make([]float64, gg*aa*radix)
+	bufPkts := float64(in.Cfg.Engine.BufferBytes / in.Cfg.Engine.PacketSize)
+	// queueLen models the mean instantaneous queue a decision sees: the
+	// tempered steady-state length, plus the run-average growing backlog
+	// when the port is past capacity, capped at the port's buffer (credit
+	// backpressure pins a saturated queue at the buffer limit — which is
+	// exactly the signal that drives the packet engine's decisions toward
+	// near-full diversion).
+	queueLen := func(port int) float64 {
+		a := lamOcc[port]
+		L := a / ser * finiteWait(md1Wait(a, ser), a, T)
+		if a > 1 {
+			L += (a - 1) * T / 2 / ser
+		}
+		return math.Min(L, bufPkts)
+	}
+	// qCache holds queueLen for every port, refreshed once per fixed-point
+	// iteration: every path shares the same port loads within an iteration,
+	// so the per-port queue math runs O(ports) times instead of once per
+	// (flow, K, hop).
+	qCache := make([]float64, len(lamOcc))
+	refreshQ := func() {
+		for p := range qCache {
+			qCache[p] = queueLen(p)
+		}
+	}
+	// pathQueue is the bottleneck queue along a path's fabric hops (the
+	// final hop is the ejection port, which UGAL cannot avoid). The packet
+	// engine's decision reads only the first-hop queue, but credit
+	// backpressure fills the chain of buffers behind an overloaded
+	// downstream channel, so the first-hop queue tracks the path
+	// bottleneck — the model uses the bottleneck directly.
+	pathQueue := func(hops []hop) float64 {
+		q := 0.0
+		for _, h := range hops[:len(hops)-1] {
+			if v := qCache[h.port]; v > q {
+				q = v
+			}
+		}
+		return q
+	}
+	minMass := func(rt *route) float64 {
+		s := 2.0 // K in {srcGroup, dstGroup} always routes minimal
+		for K := range rt.vm {
+			if rt.valHops[K] != nil {
+				s += 1 - rt.vm[K]
+			}
+		}
+		return s / float64(gg)
+	}
+	accumulate := func() {
+		clear(lamOcc)
+		for i := range routes {
+			rt := &routes[i]
+			occ := fl[i].rate * ser
+			if !rt.inter {
+				for _, h := range rt.minHops {
+					lamOcc[h.port] += occ
+				}
+				continue
+			}
+			mm := minMass(rt) * occ
+			for _, h := range rt.minHops {
+				lamOcc[h.port] += mm
+			}
+			for K, hops := range rt.valHops {
+				if hops == nil {
+					continue
+				}
+				vmK := rt.vm[K] / float64(gg) * occ
+				for _, h := range hops {
+					lamOcc[h.port] += vmK
+				}
+			}
+		}
+	}
+	// valProb is the probability the packet engine's integer comparison
+	// 2*Qmin > 4*Qval + t fires, with each instantaneous queue length
+	// modelled as a deterministic floor plus a small geometric spread
+	// matching the mean L. A lightly loaded queue is purely geometric
+	// (memoryless arrivals); a heavily loaded queue is pinned near the
+	// buffer cap by credit backpressure with little variance, so almost
+	// every comparison against it fires — the pure-geometric model's fat
+	// lower tail badly understates diversion there. The smooth function of
+	// the mean loads keeps the fixed-point map contracting (a mean-value
+	// threshold compare oscillates between all-minimal and all-Valiant and
+	// never settles).
+	const geomSpread = 3.0
+	valProb := func(Lm, Lv, t float64) float64 {
+		if Lm <= 0 {
+			return 0
+		}
+		gm := math.Min(Lm, geomSpread)
+		dm := Lm - gm
+		sm := gm / (1 + gm)
+		gv := math.Min(Lv, geomSpread)
+		dv := Lv - gv
+		sv := gv / (1 + gv)
+		// k advances by exactly 2 per geometric term (4*qv grows by 4, the
+		// threshold halves it), and the exact-boundary parity is invariant
+		// in j — so one Pow seeds the sum and each term is a multiply.
+		k := math.Ceil((4*dv + t) / 2)
+		if k*2 == 4*dv+t {
+			k++ // strict inequality on an exact integer boundary
+		}
+		k -= dm
+		sm2 := sm * sm
+		smk := -1.0
+		p, pj := 0.0, 1-sv
+		if k <= 0 {
+			// While k stays non-positive the comparison always fires and the
+			// term is just pj: sum that geometric run in closed form.
+			n := math.Floor(-k/2) + 1
+			svn := math.Pow(sv, n)
+			p += 1 - svn
+			pj *= svn
+			k += 2 * n
+		}
+		for j := 0; j < 96; j++ {
+			if pj < 1e-12 {
+				break
+			}
+			if k <= 0 {
+				p += pj
+			} else {
+				if smk < 0 {
+					smk = math.Pow(sm, k)
+				} else {
+					smk *= sm2
+				}
+				p += pj * smk
+				if pj*smk < 1e-12 {
+					// Terms shrink monotonically once k > 0 (each step
+					// multiplies by sv*sm^2 < 1): the tail is negligible.
+					break
+				}
+			}
+			k += 2
+			pj *= sv
+			if pj < 1e-12 {
+				break
+			}
+		}
+		return p
+	}
+	// Distinct (minimal, Valiant) bottleneck-queue pairs are far fewer than
+	// (flow, K) pairs — paths share bottleneck ports — so valProb is memoized
+	// within each iteration.
+	type vpKey struct{ m, v float64 }
+	vpCache := make(map[vpKey]float64)
+	for iter := 0; iter < 100; iter++ {
+		accumulate()
+		refreshQ()
+		clear(vpCache)
+		maxD := 0.0
+		for i := range routes {
+			rt := &routes[i]
+			if !rt.inter {
+				continue
+			}
+			qMin := pathQueue(rt.minHops)
+			for K, hops := range rt.valHops {
+				if hops == nil {
+					continue
+				}
+				key := vpKey{qMin, pathQueue(hops)}
+				target, ok := vpCache[key]
+				if !ok {
+					target = valProb(key.m, key.v, thr)
+					vpCache[key] = target
+				}
+				d := target - rt.vm[K]
+				rt.vm[K] += 0.5 * d
+				if a := math.Abs(d); a > maxD {
+					maxD = a
+				}
+			}
+		}
+		if maxD < 1e-9 && iter >= 2 {
+			break
+		}
+	}
+	// Finite-sample wobble: the packet engine draws K per packet, so the
+	// realized Valiant fraction of a flow fluctuates around vm by the
+	// binomial sampling noise of its ~ppn/gg draws per K. The seeded
+	// jitter reproduces that seed sensitivity in the twin.
+	perK := math.Max(1, float64(cfg.PacketsPerNode)/float64(gg))
+	for i := range routes {
+		rt := &routes[i]
+		if !rt.inter {
+			continue
+		}
+		for K := range rt.vm {
+			if rt.valHops[K] == nil {
+				continue
+			}
+			v := rt.vm[K]
+			v += rt.jitter[K] * math.Sqrt(v*(1-v)/perK)
+			rt.vm[K] = math.Min(1, math.Max(0, v))
+		}
+	}
+	accumulate()
+
+	// Per-flow latency with self-exclusion at downstream ports.
+	lat := make([]flowLat, len(fl))
+	rhoMax, saturated := 0.0, false
+	own := make(map[int]float64)
+	for i, ff := range fl {
+		rt := &routes[i]
+		occ := ff.rate * ser
+		clear(own)
+		visit := func(hops []hop, mass float64) {
+			for _, h := range hops {
+				own[h.port] += mass * occ
+			}
+		}
+		mm := 1.0
+		if rt.inter {
+			mm = minMass(rt)
+		}
+		visit(rt.minHops, mm)
+		if rt.inter {
+			for K, hops := range rt.valHops {
+				if hops != nil {
+					visit(hops, rt.vm[K]/float64(gg))
+				}
+			}
+		}
+
+		pa := pathAcc{T: T}
+		// NIC injection: full offered load, no self-exclusion.
+		pa.add(md1Wait(occ, ser), occ, tailDecay(1, occ, ser), 1)
+		addPath := func(hops []hop, mass float64) float64 {
+			maxRho := 0.0
+			for _, h := range hops {
+				a := lamOcc[h.port]
+				pa.add(md1Wait(a-own[h.port], ser), a, tailDecay(1, a, ser), mass)
+				if a > maxRho {
+					maxRho = a
+				}
+			}
+			pa.overload(maxRho, mass)
+			return mass * baseOf(hops)
+		}
+		base := addPath(rt.minHops, mm)
+		if rt.inter {
+			for K, hops := range rt.valHops {
+				if hops != nil {
+					base += addPath(hops, rt.vm[K]/float64(gg))
+				}
+			}
+		}
+		pa.base = base
+		if pa.rhoWorst > rhoMax {
+			rhoMax = pa.rhoWorst
+		}
+		var sat bool
+		lat[i], sat = pa.finalize(interval, cfg.PacketsPerNode)
+		lat[i].injSpan = ff.injSpan
+		saturated = saturated || sat
+	}
+	return assemble(lat, len(fl), interval, cfg, rhoMax, saturated), nil
+}
