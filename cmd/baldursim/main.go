@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"baldur/internal/check"
 	"baldur/internal/exp"
@@ -27,6 +28,7 @@ func main() {
 		pattern  = flag.String("pattern", "random_permutation", "traffic pattern: random_permutation|transpose|bisection|group_permutation|hotspot|ping_pong1|ping_pong2")
 		workload = flag.String("workload", "", "HPC workload instead of a pattern: AMG|BigFFT|CR|FB")
 		load     = flag.Float64("load", 0.7, "input load (fraction of line rate)")
+		scale    = flag.String("scale", "", "named size preset: "+strings.Join(exp.ScaleNames(), "|")+" (sets -nodes/-packets/-dragonfly-p/-fattree-k, which individually still override it)")
 		nodes    = flag.Int("nodes", 1024, "Baldur/multi-butterfly node count (power of two)")
 		packets  = flag.Int("packets", 1000, "packets per node (or ping-pong rounds / trace iterations x100)")
 		dfP      = flag.Int("dragonfly-p", 4, "dragonfly parameter p (nodes = 2p^2(2p^2+1))")
@@ -38,6 +40,7 @@ func main() {
 		watchdog = flag.Float64("watchdog", 0, "trace-replay progress watchdog window in simulated microseconds (0: off)")
 		audit    = flag.Bool("audit", false, "run with the invariant-audit layer armed: conservation ledgers and pool censuses are checked at every checkpoint barrier and the run fails on the first violation")
 		auditIvl = flag.Float64("audit-interval-us", 0, "audit checkpoint interval in simulated microseconds (0: default)")
+		maxBPN   = flag.Float64("max-bytes-per-node", 0, "fail the run if peak RSS divided by the simulated node count exceeds this many bytes (0: no gate; the CI memory smoke sets it)")
 	)
 	telFlags := telemetry.Flags()
 	flag.Parse()
@@ -63,6 +66,32 @@ func main() {
 		Telemetry:      telFlags(),
 		Watchdog:       sim.Microseconds(*watchdog),
 	}
+	if *scale != "" {
+		preset, ok := exp.ScaleByName(*scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "baldursim: unknown -scale %q (have %s)\n",
+				*scale, strings.Join(exp.ScaleNames(), ", "))
+			os.Exit(1)
+		}
+		// The preset supplies the sizing; explicitly-passed size flags
+		// still win so presets can be nudged from the command line.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		sc.Name = preset.Name
+		if !set["nodes"] {
+			sc.Nodes = preset.Nodes
+		}
+		if !set["packets"] {
+			sc.PacketsPerNode = preset.PacketsPerNode
+			sc.TraceIters = preset.TraceIters
+		}
+		if !set["dragonfly-p"] {
+			sc.DragonflyP = preset.DragonflyP
+		}
+		if !set["fattree-k"] {
+			sc.FatTreeK = preset.FatTreeK
+		}
+	}
 	if *audit {
 		sc.Audit = &check.Options{Interval: sim.Microseconds(*auditIvl)}
 	}
@@ -85,12 +114,40 @@ func main() {
 		what = *workload
 	}
 	fmt.Printf("network=%s workload=%s load=%.2f nodes=%d packets/node=%d\n",
-		*network, what, *load, *nodes, *packets)
+		*network, what, *load, sc.Nodes, sc.PacketsPerNode)
 	fmt.Printf("avg latency:  %10.1f ns\n", p.AvgNS)
 	fmt.Printf("p99 latency:  %10.1f ns\n", p.TailNS)
 	fmt.Printf("drop rate:    %10.3f %%\n", p.DropRate*100)
 	fmt.Printf("events:       %10d\n", p.Events)
+	if peak := prof.PeakRSSBytes(); peak > 0 {
+		n := simulatedNodes(*network, sc)
+		bpn := float64(peak) / float64(n)
+		fmt.Printf("peak rss:     %10.1f MiB  (%.0f B across %d nodes = %.0f B/node)\n",
+			float64(peak)/(1<<20), float64(peak), n, bpn)
+		if *maxBPN > 0 && bpn > *maxBPN {
+			fmt.Fprintf(os.Stderr, "baldursim: peak RSS %.0f B/node exceeds the -max-bytes-per-node budget %.0f\n", bpn, *maxBPN)
+			os.Exit(1)
+		}
+	} else if *maxBPN > 0 {
+		fmt.Fprintln(os.Stderr, "baldursim: -max-bytes-per-node set but peak RSS is unavailable on this platform")
+		os.Exit(1)
+	}
 	if !p.Finished {
 		fmt.Println("warning: run hit the virtual-time safety horizon before draining")
 	}
+}
+
+// simulatedNodes returns the node count of the network actually built —
+// the denominator of the bytes-per-node report. Topology constraints mean
+// the per-network counts differ slightly at the same Scale (e.g. fat-tree
+// k=80 hosts 128,000 while Baldur runs 131,072).
+func simulatedNodes(network string, sc exp.Scale) int {
+	switch network {
+	case "fattree":
+		return sc.FatTreeK * sc.FatTreeK * sc.FatTreeK / 4
+	case "dragonfly":
+		p := sc.DragonflyP
+		return 2 * p * p * (2*p*p + 1)
+	}
+	return sc.Nodes
 }

@@ -20,6 +20,7 @@ import (
 
 	"baldur/internal/check/calib"
 	"baldur/internal/exp"
+	"baldur/internal/prof"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
 )
@@ -61,6 +62,15 @@ const checkTolerance = 0.15
 // orders-of-magnitude ratio, so the gate pins the claim itself.
 const twinSpeedupFloor = 100.0
 
+// datacenterBytesPerNodeCeil is the absolute ceiling on peak resident
+// bytes per simulated node for the scale_datacenter entry (128K-node runs).
+// Measured ~4.3 KB/node with the SoA state layout; the ceiling leaves
+// headroom for allocator and runner variance while still catching a return
+// to pointer-heavy per-node state (which measured several times higher).
+// Like twinSpeedupFloor this gates the fresh run absolutely, because the
+// claim itself — bounded memory per node — is what the entry exists to pin.
+const datacenterBytesPerNodeCeil = 8192.0
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
 	check := flag.String("check", "", "baseline JSON to diff against; exits 1 if an engine microbenchmark regresses by >15% ns/op")
@@ -77,6 +87,10 @@ func main() {
 		{"baldur_simulator_sharded", benchBaldurSimulatorSharded},
 		{"telemetry_overhead", benchTelemetryOverhead},
 		{"twin_speedup", benchTwinSpeedup},
+		// Last on purpose: peak RSS is a process-lifetime high-water mark,
+		// so the 128K-node runs must come after every smaller benchmark for
+		// bytes_per_node to measure them and not be measured by them.
+		{"scale_datacenter", benchScaleDatacenter},
 	}
 
 	rep := report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Benchmarks: make([]result, 0, len(benchmarks))}
@@ -152,6 +166,21 @@ func compare(base, fresh report, w io.Writer) bool {
 	produced := make(map[string]bool, len(fresh.Benchmarks))
 	for _, r := range fresh.Benchmarks {
 		produced[r.Name] = true
+		if r.Name == "scale_datacenter" {
+			bpn := r.Extra["bytes_per_node"]
+			if bpn <= 0 {
+				fmt.Fprintf(w, "check %-36s WARN: peak RSS unavailable on this platform; not gated\n", r.Name)
+				continue
+			}
+			verdict := "ok"
+			if bpn > datacenterBytesPerNodeCeil {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "check %-36s %8.0f B/node (ceiling %.0f) %s\n",
+				r.Name, bpn, datacenterBytesPerNodeCeil, verdict)
+			continue
+		}
 		if r.Name == "twin_speedup" {
 			sx := r.Extra["speedup_x"]
 			verdict := "ok"
@@ -356,6 +385,37 @@ func benchTwinSpeedup(b *testing.B) {
 	b.ReportMetric(last.SpeedupX, "speedup_x")
 	b.ReportMetric(last.PacketWallMS, "packet_wall_ms")
 	b.ReportMetric(last.TwinWallMS, "twin_wall_ms")
+}
+
+// benchScaleDatacenter runs the 128K-node memory-diet preset end to end —
+// one 131,072-node Baldur run and one 128,000-host fat-tree run per
+// iteration — and reports throughput plus the process's peak RSS read after
+// both complete. bytes_per_node divides that peak by the Baldur node count
+// (the larger denominator of the two would flatter the number; the preset's
+// nominal scale is the honest one). -check gates bytes_per_node against the
+// absolute datacenterBytesPerNodeCeil rather than a baseline ratio.
+func benchScaleDatacenter(b *testing.B) {
+	sc := exp.Datacenter
+	var baldurEvents, fattreeEvents uint64
+	for i := 0; i < b.N; i++ {
+		p, err := exp.RunOpenLoop("baldur", "random_permutation", 0.5, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baldurEvents += p.Events
+		p, err = exp.RunOpenLoop("fattree", "random_permutation", 0.5, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fattreeEvents += p.Events
+	}
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(baldurEvents+fattreeEvents)/secs, "events/s")
+	b.ReportMetric(float64(baldurEvents)/float64(b.N), "baldur_events/run")
+	b.ReportMetric(float64(fattreeEvents)/float64(b.N), "fattree_events/run")
+	peak := prof.PeakRSSBytes()
+	b.ReportMetric(float64(peak), "peak_rss_bytes")
+	b.ReportMetric(float64(peak)/float64(sc.Nodes), "bytes_per_node")
 }
 
 func fatal(err error) {

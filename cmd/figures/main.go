@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		which    = flag.String("exp", "all", "experiment: table4|table5|fig6|fig7|fig8|fig9|fig10|dropmodel|packaging|awgr|reliability|ablation|profile|all")
-		scale    = flag.String("scale", "quick", "scale: quick|medium|full")
+		scale    = flag.String("scale", "quick", "scale: "+strings.Join(exp.ScaleNames(), "|"))
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables (fig6/fig7 only)")
 		out      = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -40,16 +40,9 @@ func main() {
 	flag.Parse()
 	defer prof.Start()()
 
-	var sc exp.Scale
-	switch *scale {
-	case "quick":
-		sc = exp.Quick
-	case "medium":
-		sc = exp.Medium
-	case "full":
-		sc = exp.Full
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+	sc, ok := exp.ScaleByName(*scale)
+	if !ok {
+		fatal(fmt.Errorf("unknown scale %q (have %s)", *scale, strings.Join(exp.ScaleNames(), ", ")))
 	}
 	sc.Seed = *seed
 	fid, err := netsim.ParseFidelity(*fidelity)
@@ -63,10 +56,12 @@ func main() {
 	switch {
 	case *shards >= 0:
 		sc.Shards = *shards
-	case *scale == "full":
-		// Full-scale runs are minutes of CPU per cell: spread each
+	case *scale == "full" || *scale == "mid" || *scale == "datacenter":
+		// Large-scale runs are minutes of CPU per cell: spread each
 		// simulation across the machine by default. The results are
-		// bit-identical to a serial run.
+		// bit-identical to a serial run. (At mid/datacenter scale the
+		// fan-out runners are already capped at 1-2 concurrent cells by
+		// Scale.MaxParallel, so intra-cell shards are the parallelism.)
 		sc.Shards = runtime.GOMAXPROCS(0)
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"baldur/internal/check"
+	"baldur/internal/netsim"
 	"baldur/internal/sim"
 )
 
@@ -74,25 +75,26 @@ func (n *Network) audit(a *check.Auditor, at sim.Time, drained bool) {
 	// every shard's NICs from here is safe.
 	var outstanding, queued, completed, tracked uint64
 	maxRetxNow := 0
-	for _, c := range n.nics {
-		outstanding += uint64(len(c.outstanding))
+	for i := range n.nics {
+		c := &n.nics[i]
+		outstanding += uint64(c.outstanding.Len())
 		queued += uint64(c.queueLen())
 		completed += uint64(c.ackLat.N())
 		want := 0
-		for _, p := range c.outstanding {
+		c.outstanding.foreach(func(_ uint64, p *netsim.Packet) {
 			want += p.Size
-		}
+		})
 		if c.retxBytes != want {
 			a.Violatef(at, c.sh.sh.ID, "core/retx-bytes",
 				"nic %d: retxBytes=%d but outstanding sums to %d bytes over %d packets",
-				c.id, c.retxBytes, want, len(c.outstanding))
+				c.id, c.retxBytes, want, c.outstanding.Len())
 		}
 		if c.retxBytes > maxRetxNow {
 			maxRetxNow = c.retxBytes
 		}
-		for _, tr := range c.seen {
+		c.seen.foreach(func(_ int, tr *seqTracker) {
 			tracked += tr.next + uint64(len(tr.extras))
-		}
+		})
 	}
 	if maxRetxNow > st.MaxRetxBufBytes {
 		a.Violatef(at, -1, "core/retx-bytes",

@@ -29,12 +29,13 @@ func TestRetxBytesZeroAfterLateAck(t *testing.T) {
 	if n.Stats.Delivered != 1 {
 		t.Fatalf("Delivered = %d, want 1 unique delivery", n.Stats.Delivered)
 	}
-	for _, c := range n.nics {
+	for i := range n.nics {
+		c := &n.nics[i]
 		if c.retxBytes != 0 {
 			t.Errorf("nic %d: retxBytes = %d after drain, want 0", c.id, c.retxBytes)
 		}
-		if len(c.outstanding) != 0 {
-			t.Errorf("nic %d: %d packets still outstanding after drain", c.id, len(c.outstanding))
+		if c.outstanding.Len() != 0 {
+			t.Errorf("nic %d: %d packets still outstanding after drain", c.id, c.outstanding.Len())
 		}
 	}
 }

@@ -160,10 +160,13 @@ func (s *Stats) DataDropRate() float64 {
 // Network is a Baldur network instance. It implements netsim.Network and
 // netsim.Sharded.
 type Network struct {
-	cfg  Config
-	se   *sim.ShardedEngine
-	mb   *topo.MultiButterfly
-	nics []*nic
+	cfg Config
+	se  *sim.ShardedEngine
+	mb  *topo.MultiButterfly
+	// nics is one contiguous slab indexed by node id; it is sized once at
+	// construction and never reallocated, so &nics[i] pointers stay valid
+	// for the life of the network.
+	nics []nic
 
 	// shards[0] is the optical fabric (and, when serial, everything);
 	// shards[1..] hold NIC blocks. fab/fabEng/fabAct are shard 0's handles,
@@ -173,10 +176,12 @@ type Network struct {
 	fabEng *sim.Engine
 	fabAct sim.Actor
 
-	// busy[s][k*2m+d*m+p] is the time until which that output wire of
-	// switch k at stage s is carrying a packet. Touched only by the fabric
-	// shard.
-	busy [][]sim.Time
+	// busy[s*busyStride + k*2m*w + d*m*w + slot] is the time until which
+	// that output (wire, lambda) of switch k at stage s is carrying a
+	// packet: one flat array for the whole fabric instead of a slice per
+	// stage. Touched only by the fabric shard.
+	busy       []sim.Time
+	busyStride int
 
 	onDeliver []func(*netsim.Packet, sim.Time)
 	gap       sim.Duration // inter-packet dark gap a wire needs (6T + margin)
@@ -208,11 +213,9 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, mb: mb}
 	n.duration, n.ackDur, n.gap, n.rto = deriveTiming(cfg, mb)
-	n.busy = make([][]sim.Time, mb.Stages)
-	for s := range n.busy {
-		// One slot per (wire, lambda channel).
-		n.busy[s] = make([]sim.Time, mb.SwitchesPerStage()*2*cfg.Multiplicity*cfg.Wavelengths)
-	}
+	// One slot per (stage, wire, lambda channel).
+	n.busyStride = mb.SwitchesPerStage() * 2 * cfg.Multiplicity * cfg.Wavelengths
+	n.busy = make([]sim.Time, mb.Stages*n.busyStride)
 	n.Stats.DropsByStage = make([]uint64, mb.Stages)
 	n.testPath = -1
 
@@ -240,13 +243,13 @@ func New(cfg Config) (*Network, error) {
 	n.fabAct = sim.MakeActor(1)
 
 	base := sim.NewRNG(cfg.Seed ^ 0xba1d0e)
-	n.nics = make([]*nic, cfg.Nodes)
+	n.nics = make([]nic, cfg.Nodes)
 	for i := range n.nics {
 		shard := n.shards[0]
 		if k > 1 {
 			shard = n.shards[1+i*(k-1)/cfg.Nodes]
 		}
-		n.nics[i] = newNIC(n, i, shard, base.Fork(uint64(i)+1))
+		n.nics[i].init(n, i, shard, base.Fork(uint64(i)+1))
 	}
 	return n, nil
 }
@@ -290,7 +293,7 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 	if size <= 0 {
 		size = n.cfg.PacketSize
 	}
-	nic := n.nics[src]
+	nic := &n.nics[src]
 	// IDs are per-source (high bits = src+1) so allocation is shard-local
 	// and the numbering is invariant to shard count.
 	p := &netsim.Packet{
@@ -319,8 +322,9 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 // Pending reports whether any data packet is still in flight or queued
 // anywhere (used by harnesses to decide when a run has drained).
 func (n *Network) Pending() bool {
-	for _, nc := range n.nics {
-		if nc.queueLen() > 0 || len(nc.outstanding) > 0 {
+	for i := range n.nics {
+		nc := &n.nics[i]
+		if nc.queueLen() > 0 || nc.outstanding.Len() > 0 {
 			return true
 		}
 	}
@@ -358,17 +362,17 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 		}
 		d := n.routeBit(p, s)
 		w := n.cfg.Wavelengths
-		base := (int(sw)*2*m + d*m) * w
+		base := s*n.busyStride + (int(sw)*2*m+d*m)*w
 		found := -1 // slot index: path*W + lambda
 		if n.testPath >= 0 {
 			// Diagnostic mode: only the configured path is enabled
 			// (lambda 0).
-			if n.busy[s][base+n.testPath*w] <= t {
+			if n.busy[base+n.testPath*w] <= t {
 				found = n.testPath * w
 			}
 		} else {
 			for q := 0; q < m*w; q++ {
-				if n.busy[s][base+q] <= t {
+				if n.busy[base+q] <= t {
 					found = q
 					break
 				}
@@ -382,7 +386,7 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 			n.drop(p, s, t)
 			return
 		}
-		n.busy[s][base+found] = t.Add(dur + n.gap)
+		n.busy[base+found] = t.Add(dur + n.gap)
 		if tp != nil {
 			tp.hops.Inc()
 			if tp.ring != nil {
@@ -399,7 +403,7 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	}
 	// sw is now the destination node id; last bit lands after the output
 	// host link plus the serialization time.
-	n.postReceive(t.Add(n.cfg.LinkDelay+dur), n.nics[sw], p)
+	n.postReceive(t.Add(n.cfg.LinkDelay+dur), &n.nics[sw], p)
 }
 
 // routeBit returns the output direction for packet p at stage s: a

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"baldur/internal/netsim"
+)
+
+// Compact open-addressed hash tables for the per-NIC hot-path state. At
+// datacenter scale (128K nodes) the per-flow maps dominated the heap: a Go
+// map costs ~48 B of header plus ~10 B/slot of bucket overhead, and the NIC
+// working sets are tiny (a handful of unACKed packets, one dedup tracker per
+// active source). These tables store entries inline in two parallel slices
+// with linear probing over a power-of-two capacity, so an idle NIC costs two
+// nil slices and an active one a single small allocation that grows
+// geometrically. Iteration order is arbitrary — both audit consumers reduce
+// with order-independent sums.
+
+// hashKey mixes a key with the 64-bit golden-ratio multiplier so that
+// sequential keys (NIC sequence numbers, node ids) scatter across the table.
+func hashKey(x uint64) uint64 {
+	x *= 0x9E3779B97F4A7C15
+	return x ^ (x >> 29)
+}
+
+// pktTable maps sequence numbers to in-flight packets (the NIC's unACKed
+// window). Empty slots are marked by a nil packet pointer, so sequence 0 is
+// a valid key; deletion uses backward-shift compaction, keeping probes short
+// without tombstones.
+type pktTable struct {
+	keys []uint64
+	vals []*netsim.Packet
+	used int
+}
+
+// Len returns the number of live entries.
+func (t *pktTable) Len() int { return t.used }
+
+func (t *pktTable) slot(seq uint64) int {
+	mask := uint64(len(t.keys) - 1)
+	i := hashKey(seq) & mask
+	for t.vals[i] != nil {
+		if t.keys[i] == seq {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+// get returns the packet stored under seq, or nil.
+func (t *pktTable) get(seq uint64) *netsim.Packet {
+	if t.used == 0 {
+		return nil
+	}
+	return t.vals[t.slot(seq)]
+}
+
+// put stores p under seq (which must not already be present: the protocol
+// assigns each in-flight packet a unique sequence).
+func (t *pktTable) put(seq uint64, p *netsim.Packet) {
+	if len(t.keys) == 0 {
+		t.keys = make([]uint64, 8)
+		t.vals = make([]*netsim.Packet, 8)
+	} else if t.used >= len(t.keys)*3/4 {
+		t.grow()
+	}
+	i := t.slot(seq)
+	t.keys[i], t.vals[i] = seq, p
+	t.used++
+}
+
+// del removes seq and returns whether it was present.
+func (t *pktTable) del(seq uint64) bool {
+	if t.used == 0 {
+		return false
+	}
+	i := t.slot(seq)
+	if t.vals[i] == nil {
+		return false
+	}
+	mask := uint64(len(t.keys) - 1)
+	t.vals[i] = nil
+	t.used--
+	// Backward-shift: slide any displaced follower into the hole so every
+	// surviving entry stays reachable from its home slot.
+	j := uint64(i)
+	hole := j
+	for {
+		j = (j + 1) & mask
+		if t.vals[j] == nil {
+			return true
+		}
+		home := hashKey(t.keys[j]) & mask
+		if (j-home)&mask >= (j-hole)&mask {
+			t.keys[hole], t.vals[hole] = t.keys[j], t.vals[j]
+			t.vals[j] = nil
+			hole = j
+		}
+	}
+}
+
+func (t *pktTable) grow() {
+	ok, ov := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(ok))
+	t.vals = make([]*netsim.Packet, 2*len(ov))
+	t.used = 0
+	for i, p := range ov {
+		if p != nil {
+			t.put(ok[i], p)
+		}
+	}
+}
+
+// foreach visits every live entry in arbitrary order.
+func (t *pktTable) foreach(fn func(seq uint64, p *netsim.Packet)) {
+	for i, p := range t.vals {
+		if p != nil {
+			fn(t.keys[i], p)
+		}
+	}
+}
+
+// srcTable maps source node ids to receive-side dedup trackers. It is
+// append-only (a source once seen is tracked for the rest of the run), so
+// there is no deletion path; keys store src+1 with 0 marking an empty slot
+// and trackers live inline in the value slice. Pointers returned by lookup
+// are valid until the next insert (which may grow the table) — callers use
+// them immediately and never retain them.
+type srcTable struct {
+	keys []int32
+	vals []seqTracker
+	used int
+}
+
+// Len returns the number of tracked sources.
+func (t *srcTable) Len() int { return t.used }
+
+func (t *srcTable) slot(src int) int {
+	mask := uint64(len(t.keys) - 1)
+	i := hashKey(uint64(src)+1) & mask
+	for t.keys[i] != 0 {
+		if t.keys[i] == int32(src)+1 {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+// lookup returns the tracker for src, or nil if the source is new.
+func (t *srcTable) lookup(src int) *seqTracker {
+	if t.used == 0 {
+		return nil
+	}
+	i := t.slot(src)
+	if t.keys[i] == 0 {
+		return nil
+	}
+	return &t.vals[i]
+}
+
+// insert returns the tracker for src, creating it if absent.
+func (t *srcTable) insert(src int) *seqTracker {
+	if len(t.keys) == 0 {
+		t.keys = make([]int32, 8)
+		t.vals = make([]seqTracker, 8)
+	} else if t.used >= len(t.keys)*3/4 {
+		ok, ov := t.keys, t.vals
+		t.keys = make([]int32, 2*len(ok))
+		t.vals = make([]seqTracker, 2*len(ov))
+		t.used = 0
+		for i, k := range ok {
+			if k != 0 {
+				j := t.slot(int(k) - 1)
+				t.keys[j], t.vals[j] = k, ov[i]
+				t.used++
+			}
+		}
+	}
+	i := t.slot(src)
+	if t.keys[i] == 0 {
+		t.keys[i] = int32(src) + 1
+		t.used++
+	}
+	return &t.vals[i]
+}
+
+// foreach visits every tracker in arbitrary order.
+func (t *srcTable) foreach(fn func(src int, tr *seqTracker)) {
+	for i, k := range t.keys {
+		if k != 0 {
+			fn(int(k)-1, &t.vals[i])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"baldur/internal/netsim"
+	"baldur/internal/sim"
+)
+
+// TestPktTableMatchesMap drives the open-addressed packet table with a
+// random put/get/del workload mirrored against a Go map: contents must agree
+// after every operation. The key stream reuses sequences (as retransmission
+// windows do) and includes seq 0, which the table must support because the
+// first packet of every NIC carries it.
+func TestPktTableMatchesMap(t *testing.T) {
+	var tbl pktTable
+	ref := make(map[uint64]*netsim.Packet)
+	rng := sim.NewRNG(42)
+	pkts := make([]*netsim.Packet, 64)
+	for i := range pkts {
+		pkts[i] = &netsim.Packet{Seq: uint64(i)}
+	}
+	for op := 0; op < 20000; op++ {
+		seq := uint64(rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0:
+			if ref[seq] == nil {
+				tbl.put(seq, pkts[seq])
+				ref[seq] = pkts[seq]
+			}
+		case 1:
+			if got, want := tbl.get(seq), ref[seq]; got != want {
+				t.Fatalf("op %d: get(%d) = %v, want %v", op, seq, got, want)
+			}
+		case 2:
+			gotOK := tbl.del(seq)
+			_, wantOK := ref[seq]
+			if gotOK != wantOK {
+				t.Fatalf("op %d: del(%d) = %v, want %v", op, seq, gotOK, wantOK)
+			}
+			delete(ref, seq)
+		}
+		if tbl.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tbl.Len(), len(ref))
+		}
+	}
+	// Every surviving entry must be reachable and iterable exactly once.
+	seen := make(map[uint64]bool)
+	tbl.foreach(func(seq uint64, p *netsim.Packet) {
+		if seen[seq] {
+			t.Fatalf("foreach visited seq %d twice", seq)
+		}
+		seen[seq] = true
+		if ref[seq] != p {
+			t.Fatalf("foreach: seq %d holds %v, want %v", seq, p, ref[seq])
+		}
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("foreach visited %d entries, want %d", len(seen), len(ref))
+	}
+}
+
+// TestSrcTableMatchesMap mirrors the append-only source table against a map,
+// including growth across the initial capacity and src 0 (a valid node id).
+func TestSrcTableMatchesMap(t *testing.T) {
+	var tbl srcTable
+	ref := make(map[int]uint64) // src -> next
+	rng := sim.NewRNG(7)
+	for op := 0; op < 5000; op++ {
+		src := rng.Intn(300)
+		tr := tbl.insert(src)
+		if _, ok := ref[src]; !ok {
+			ref[src] = 0
+		}
+		if tr.next != ref[src] {
+			t.Fatalf("op %d: src %d next = %d, want %d", op, src, tr.next, ref[src])
+		}
+		if tr.record(tr.next) {
+			ref[src]++
+		}
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), len(ref))
+	}
+	for src, next := range ref {
+		tr := tbl.lookup(src)
+		if tr == nil || tr.next != next {
+			t.Fatalf("lookup(%d) = %+v, want next %d", src, tr, next)
+		}
+	}
+	if tbl.lookup(9999) != nil {
+		t.Fatal("lookup of unseen src returned a tracker")
+	}
+	var count int
+	tbl.foreach(func(src int, tr *seqTracker) {
+		if tr.next != ref[src] {
+			t.Fatalf("foreach: src %d next = %d, want %d", src, tr.next, ref[src])
+		}
+		count++
+	})
+	if count != len(ref) {
+		t.Fatalf("foreach visited %d sources, want %d", count, len(ref))
+	}
+}

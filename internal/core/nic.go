@@ -11,6 +11,12 @@ import (
 // the single 25 Gbps injection wire, the retransmission buffer holding
 // unACKed packets, the local retransmission timer, binary exponential
 // backoff, and receive-side deduplication plus ACK generation (Sec IV-E).
+//
+// NICs live in one contiguous slab (Network.nics []nic) indexed by node id:
+// at datacenter scale the per-node header cost is what bounds the resident
+// set, so the struct embeds its RNG by value and keeps the reliability and
+// dedup state in compact open-addressed tables instead of Go maps. An idle
+// NIC allocates nothing beyond its slab slot.
 type nic struct {
 	net *Network
 	id  int
@@ -22,7 +28,7 @@ type nic struct {
 	sh  *coreShard
 	eng *sim.Engine
 	act sim.Actor
-	rng *sim.RNG
+	rng sim.RNG
 
 	// ackLat accumulates this NIC's ACK round-trip observations; merged in
 	// node order by SyncStats.
@@ -41,24 +47,21 @@ type nic struct {
 	nextSeq    uint64
 
 	// Reliability state: unACKed data packets by sequence.
-	outstanding map[uint64]*netsim.Packet
+	outstanding pktTable
 	retxBytes   int
 
 	// Receive side dedup, per source.
-	seen map[int]*seqTracker
+	seen srcTable
 }
 
-func newNIC(n *Network, id int, sh *coreShard, rng *sim.RNG) *nic {
-	return &nic{
-		net:         n,
-		id:          id,
-		sh:          sh,
-		eng:         sh.sh.Eng,
-		act:         sim.MakeActor(uint32(id) + 2), // 1 is the fabric
-		rng:         rng,
-		outstanding: make(map[uint64]*netsim.Packet),
-		seen:        make(map[int]*seqTracker),
-	}
+// init wires a slab slot up as node id's NIC.
+func (c *nic) init(n *Network, id int, sh *coreShard, rng *sim.RNG) {
+	c.net = n
+	c.id = id
+	c.sh = sh
+	c.eng = sh.sh.Eng
+	c.act = sim.MakeActor(uint32(id) + 2) // 1 is the fabric
+	c.rng = *rng
 }
 
 func (c *nic) queueLen() int { return len(c.qfront) + len(c.qback) - c.qhead }
@@ -87,7 +90,7 @@ func (c *nic) popFront() {
 func (c *nic) enqueueData(p *netsim.Packet) {
 	c.qback = append(c.qback, p)
 	if !c.net.cfg.DisableRetransmit {
-		c.outstanding[p.Seq] = p
+		c.outstanding.put(p.Seq, p)
 		c.retxBytes += p.Size
 		if c.retxBytes > c.sh.stats.MaxRetxBufBytes {
 			c.sh.stats.MaxRetxBufBytes = c.retxBytes
@@ -110,8 +113,7 @@ func (c *nic) requeueFront(p *netsim.Packet) {
 // forget removes a packet from the reliability state (ACK received, or the
 // protocol is disabled and the packet was dropped).
 func (c *nic) forget(p *netsim.Packet) {
-	if _, ok := c.outstanding[p.Seq]; ok {
-		delete(c.outstanding, p.Seq)
+	if c.outstanding.del(p.Seq) {
 		c.retxBytes -= p.Size
 	}
 }
@@ -196,8 +198,8 @@ func (c *nic) transmit(p *netsim.Packet) {
 // unACKed and no newer attempt superseded this timer, retransmit with
 // binary exponential backoff.
 func (c *nic) timeout(seq uint64, attempt int) {
-	p, ok := c.outstanding[seq]
-	if !ok || p.Retries != attempt {
+	p := c.outstanding.get(seq)
+	if p == nil || p.Retries != attempt {
 		return // ACKed, or a newer attempt owns the timer
 	}
 	n := c.net
@@ -231,7 +233,7 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 	if p.Ack {
 		// We are the original sender: the ACK closes the loop (the ACK's
 		// Dst is the data packet's source, i.e. this NIC).
-		if data, ok := c.outstanding[p.AckFor]; ok {
+		if data := c.outstanding.get(p.AckFor); data != nil {
 			data.Acked = true
 			c.forget(data)
 			if tp := c.sh.tp; tp != nil && tp.ring != nil {
@@ -259,12 +261,7 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 		return
 	}
 	// Dedup, then always ACK (the original ACK may have been lost).
-	tr := c.seen[p.Src]
-	if tr == nil {
-		tr = &seqTracker{}
-		c.seen[p.Src] = tr
-	}
-	fresh := tr.record(p.Seq)
+	fresh := c.seen.insert(p.Src).record(p.Seq)
 	if fresh {
 		c.deliverUnique(p, at)
 	} else {

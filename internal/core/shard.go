@@ -59,7 +59,7 @@ func (n *Network) NodeShard(node int) int { return n.nics[node].sh.sh.ID }
 // tie-break key (netsim.Sharded). Call it before the run starts or from an
 // event already executing on that node's shard.
 func (n *Network) ScheduleNode(node int, t sim.Time, ev sim.Event) {
-	c := n.nics[node]
+	c := &n.nics[node]
 	c.eng.ScheduleKey(t, c.act.Next(), ev)
 }
 
@@ -96,8 +96,8 @@ func (n *Network) SyncStats() {
 	// order: each NIC's sequence of observations is invariant to sharding,
 	// and so therefore is this merge.
 	var ack stats.Running
-	for _, c := range n.nics {
-		ack.Merge(&c.ackLat)
+	for i := range n.nics {
+		ack.Merge(&n.nics[i].ackLat)
 	}
 	n.Stats.AckLatency = ack
 }

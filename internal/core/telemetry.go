@@ -78,25 +78,23 @@ func (n *Network) AttachTelemetry(tel *telemetry.Telemetry) {
 	wiresTotal := reg.Count(ids.wiresTotal, 0)
 	tel.OnProbe(func() {
 		var queued, flight, retx uint64
-		for _, c := range n.nics {
+		for i := range n.nics {
+			c := &n.nics[i]
 			queued += uint64(c.queueLen())
-			flight += uint64(len(c.outstanding))
+			flight += uint64(c.outstanding.Len())
 			retx += uint64(c.retxBytes)
 		}
 		nicQueued.Set(queued)
 		inFlight.Set(flight)
 		retxBytes.Set(retx)
 		now := n.fabEng.Now()
-		var busy, total uint64
-		for s := range n.busy {
-			total += uint64(len(n.busy[s]))
-			for _, until := range n.busy[s] {
-				if until > now {
-					busy++
-				}
+		var busy uint64
+		for _, until := range n.busy {
+			if until > now {
+				busy++
 			}
 		}
 		wiresBusy.Set(busy)
-		wiresTotal.Set(total)
+		wiresTotal.Set(uint64(len(n.busy)))
 	})
 }

@@ -48,7 +48,7 @@ func (n *engine) AttachAudit(a *check.Auditor) {
 
 func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 	n.SyncStats()
-	per := n.cfg.slotsPerVC()
+	per := int32(n.cfg.slotsPerVC())
 
 	var stateLive, credLive int64
 	for _, sh := range n.shards {
@@ -68,7 +68,8 @@ func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 	}
 
 	var queuedStates int64
-	for _, r := range n.routers {
+	for ri := range n.routers {
+		r := &n.routers[ri]
 		for pi := range r.out {
 			port := &r.out[pi]
 			q := 0
@@ -97,7 +98,8 @@ func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 			}
 		}
 	}
-	for _, nic := range n.nics {
+	for ni := range n.nics {
+		nic := &n.nics[ni]
 		queuedStates += int64(nic.queue.len())
 		for vc, cr := range nic.credits {
 			if cr < 0 || cr > per {

@@ -18,10 +18,11 @@ type Dragonfly struct {
 	p, a, h, g int
 	threshold  int
 	routing    string
-	// rngs holds one UGAL/Valiant randomness stream per router: the draw
-	// happens on the source router's shard, and per-router streams keep
-	// the sequence of draws invariant to the shard count.
-	rngs []*sim.RNG
+	// rngs holds one UGAL/Valiant randomness stream per router, stored
+	// inline in one slab: the draw happens on the source router's shard,
+	// and per-router streams keep the sequence of draws invariant to the
+	// shard count.
+	rngs []sim.RNG
 }
 
 // DragonflyConfig configures the dragonfly.
@@ -79,20 +80,16 @@ func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
 		routing:   cfg.Routing,
 	}
 	base := sim.NewRNG(cfg.Seed ^ 0xd4a90)
-	net.rngs = make([]*sim.RNG, g*a)
+	net.rngs = make([]sim.RNG, g*a)
 	for i := range net.rngs {
-		net.rngs[i] = base.Fork(uint64(i) + 1)
+		net.rngs[i] = *base.Fork(uint64(i) + 1)
 	}
 
 	// Router (G,A) id = G*a + A. Ports: [0,p) hosts, [p, p+a-1) local,
 	// [p+a-1, p+a-1+h) global.
-	routers := g * a
-	net.routers = make([]*router, routers)
 	radix := p + (a - 1) + h
-	for i := range net.routers {
-		net.routers[i] = newRouter(int32(i), radix, radix)
-	}
-	net.nics = make([]*enic, nodes)
+	net.initRouters(g*a, radix, radix)
+	net.initNICs(nodes)
 
 	rid := func(G, A int) int32 { return int32(G*a + A) }
 	localPort := func(A, B int) int { // port on A towards B, B != A

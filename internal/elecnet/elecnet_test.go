@@ -294,8 +294,9 @@ func TestCreditConservation(t *testing.T) {
 	}
 	ol.Start(n)
 	n.Engine().Run()
-	per := n.cfg.slotsPerVC()
-	for _, r := range n.routers {
+	per := int32(n.cfg.slotsPerVC())
+	for ri := range n.routers {
+		r := &n.routers[ri]
 		for pi := range r.out {
 			port := &r.out[pi]
 			if port.node >= 0 || port.peer < 0 {
@@ -312,7 +313,8 @@ func TestCreditConservation(t *testing.T) {
 			}
 		}
 	}
-	for _, nic := range n.nics {
+	for ni := range n.nics {
+		nic := &n.nics[ni]
 		for vc, c := range nic.credits {
 			if c != per {
 				t.Fatalf("nic %d vc %d: credits %d != %d", nic.id, vc, c, per)

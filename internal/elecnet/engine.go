@@ -197,8 +197,10 @@ type outPort struct {
 	queued    int    // total packets across queues
 	rr        int    // round-robin VC scan start
 	busyUntil sim.Time
-	// credits[vc] counts free downstream slots of that VC.
-	credits   []int
+	// credits[vc] counts free downstream slots of that VC. Vectors are
+	// carved from the engine's shared int32 slab: at datacenter scale the
+	// per-port allocation count is what dominates construction cost.
+	credits   []int32
 	linkDelay sim.Duration
 	peer      int32 // downstream router, or -1 for ejection
 	peerIn    int16
@@ -218,10 +220,13 @@ func (p *outPort) Run(*sim.Engine) { p.net.servicePort(p.rtr, int(p.idx)) }
 // queueLen is the rough queue depth adaptive policies consult.
 func (p *outPort) queueLen() int { return p.queued }
 
-// inPort records who feeds a router input, for credit returns.
+// inPort records who feeds a router input, for credit returns. feederPort
+// doubles as the NIC/node id when feederRouter == -1, so it must be wide
+// enough for a node id — int16 overflows past 32K hosts (the datacenter
+// scale runs 128K).
 type inPort struct {
 	feederRouter int32 // -1 when fed by a NIC
-	feederPort   int16 // output port index, or NIC/node id when feederRouter == -1
+	feederPort   int32 // output port index, or NIC/node id when feederRouter == -1
 }
 
 type router struct {
@@ -244,7 +249,7 @@ type enic struct {
 	net       *engine
 	queue     fifo
 	busyUntil sim.Time
-	credits   []int
+	credits   []int32
 	linkDelay sim.Duration
 	edge      int32
 	edgeIn    int16
@@ -303,14 +308,22 @@ type routeFunc func(net *engine, r *router, st *pktState) int
 // provide topology plus a routeFunc, and finish construction with
 // partition.
 type engine struct {
-	cfg       EngineConfig
-	se        *sim.ShardedEngine
-	shards    []*eshard
-	routers   []*router
-	nics      []*enic
+	cfg    EngineConfig
+	se     *sim.ShardedEngine
+	shards []*eshard
+	// routers and nics are contiguous slabs indexed by id. They are sized
+	// once at construction (initRouters / initNICs) and never reallocated,
+	// so interior pointers (&routers[i], port backrefs, pooled events'
+	// receiver fields) stay valid for the life of the network.
+	routers   []router
+	nics      []enic
 	route     routeFunc
 	onDeliver []func(*netsim.Packet, sim.Time)
 	name      string
+
+	// creditSlab is the chunk allocator newCredits carves per-port credit
+	// vectors from, replacing one small heap object per port.
+	creditSlab []int32
 
 	// NetStats is the aggregate view (live with one shard; refreshed by
 	// SyncStats — called by Run — otherwise). The embedding promotes
@@ -397,7 +410,8 @@ func (n *engine) partition(shards, units int, routerUnit func(int) int, nodeUnit
 		nsh[i] = nodeUnit(i) * k / units
 	}
 	la := sim.Duration(math.MaxInt64)
-	for ri, r := range n.routers {
+	for ri := range n.routers {
+		r := &n.routers[ri]
 		for pi := range r.out {
 			port := &r.out[pi]
 			switch {
@@ -412,7 +426,8 @@ func (n *engine) partition(shards, units int, routerUnit func(int) int, nodeUnit
 			}
 		}
 	}
-	for ni, nic := range n.nics {
+	for ni := range n.nics {
+		nic := &n.nics[ni]
 		if rsh[nic.edge] != nsh[ni] && nic.linkDelay < la {
 			la = nic.linkDelay
 		}
@@ -431,12 +446,14 @@ func (n *engine) partition(shards, units int, routerUnit func(int) int, nodeUnit
 		}
 		n.shards[i] = sh
 	}
-	for i, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		r.sh = n.shards[rsh[i]]
 		r.eng = r.sh.sh.Eng
 		r.act = sim.MakeActor(uint32(i) + 1)
 	}
-	for i, nic := range n.nics {
+	for i := range n.nics {
+		nic := &n.nics[i]
 		nic.sh = n.shards[nsh[i]]
 		nic.eng = nic.sh.sh.Eng
 		nic.act = sim.MakeActor(uint32(len(n.routers)+i) + 1)
@@ -483,7 +500,7 @@ func (n *engine) NodeShard(node int) int { return n.nics[node].sh.sh.ID }
 // tie-break key (netsim.Sharded). Call it before the run starts or from an
 // event already executing on that node's shard.
 func (n *engine) ScheduleNode(node int, t sim.Time, ev sim.Event) {
-	nic := n.nics[node]
+	nic := &n.nics[node]
 	nic.eng.ScheduleKey(t, nic.act.Next(), ev)
 }
 
@@ -515,7 +532,7 @@ func (n *engine) Send(src, dst, size int) *netsim.Packet {
 	if size <= 0 {
 		size = n.cfg.PacketSize
 	}
-	nic := n.nics[src]
+	nic := &n.nics[src]
 	nic.nextSeq++
 	p := &netsim.Packet{
 		ID:      uint64(src+1)<<32 | nic.nextSeq,
@@ -544,10 +561,21 @@ func (n *engine) ser(size int) sim.Duration {
 	return sim.SerializationTime(size, n.cfg.LinkRate)
 }
 
-// newCredits allocates a fully stocked credit vector.
-func (n *engine) newCredits() []int {
-	c := make([]int, n.cfg.VirtualChannels)
-	per := n.cfg.slotsPerVC()
+// newCredits carves a fully stocked credit vector from the shared slab.
+func (n *engine) newCredits() []int32 {
+	nvc := n.cfg.VirtualChannels
+	if len(n.creditSlab) < nvc {
+		// Chunked growth: the dead tail of the previous chunk (< nvc
+		// entries) is abandoned, bounded by one vector per chunk.
+		size := 4096
+		if size < nvc {
+			size = nvc
+		}
+		n.creditSlab = make([]int32, size)
+	}
+	c := n.creditSlab[:nvc:nvc]
+	n.creditSlab = n.creditSlab[nvc:]
+	per := int32(n.cfg.slotsPerVC())
 	for i := range c {
 		c[i] = per
 	}
@@ -594,7 +622,7 @@ func (n *engine) serviceNIC(nic *enic) {
 		nic.busyUntil = now.Add(dur)
 		st.holdRouter = nic.edge
 		st.holdIn = nic.edgeIn
-		edge := n.routers[nic.edge]
+		edge := &n.routers[nic.edge]
 		st.home = edge.sh
 		headAt := now.Add(nic.linkDelay + n.cfg.RouterLatency)
 		nic.sh.sh.Post(edge.sh.sh, headAt, nic.act.Next(), st)
@@ -607,7 +635,7 @@ func (n *engine) serviceNIC(nic *enic) {
 // router's 90 ns pipeline: the routing decision is made and the packet joins
 // an output queue.
 func (n *engine) arrive(rid int32, in int16, st *pktState) {
-	r := n.routers[rid]
+	r := &n.routers[rid]
 	st.hop++
 	if st.hop > r.sh.stats.MaxHops {
 		r.sh.stats.MaxHops = st.hop
@@ -691,7 +719,7 @@ func (n *engine) servicePort(r *router, out int) {
 
 		if isEject {
 			st.eject = true
-			dst := n.nics[port.node]
+			dst := &n.nics[port.node]
 			st.home = dst.sh
 			r.sh.sh.Post(dst.sh.sh, port.busyUntil.Add(port.linkDelay), r.act.Next(), st)
 			continue
@@ -699,7 +727,7 @@ func (n *engine) servicePort(r *router, out int) {
 		port.credits[vc]--
 		st.holdRouter = port.peer
 		st.holdIn = port.peerIn
-		peer := n.routers[port.peer]
+		peer := &n.routers[port.peer]
 		st.home = peer.sh
 		headAt := now.Add(port.linkDelay + n.cfg.RouterLatency)
 		r.sh.sh.Post(peer.sh.sh, headAt, r.act.Next(), st)
@@ -725,11 +753,11 @@ func (st *pktState) vcHeld(nvc int) int {
 func (n *engine) scheduleCreditReturn(from *router, in int16, vc int, tailAt sim.Time) {
 	feeder := from.in[in]
 	if feeder.feederRouter < 0 {
-		nic := n.nics[feeder.feederPort]
+		nic := &n.nics[feeder.feederPort]
 		n.scheduleCredit(from, tailAt.Add(nic.linkDelay), nic, nil, 0, vc)
 		return
 	}
-	up := n.routers[feeder.feederRouter]
+	up := &n.routers[feeder.feederRouter]
 	upPort := int(feeder.feederPort)
 	n.scheduleCredit(from, tailAt.Add(up.out[upPort].linkDelay), nil, up, upPort, vc)
 }
@@ -759,7 +787,7 @@ func (n *engine) connect(a int32, ap int, b int32, bp int, delay sim.Duration) {
 	port.node = -1
 	port.linkDelay = delay
 	port.credits = n.newCredits()
-	n.routers[b].in[bp] = inPort{feederRouter: a, feederPort: int16(ap)}
+	n.routers[b].in[bp] = inPort{feederRouter: a, feederPort: int32(ap)}
 }
 
 // connectEject makes output port (a, ap) an ejection port to node with the
@@ -771,24 +799,36 @@ func (n *engine) connectEject(a int32, ap int, node int32, delay sim.Duration) {
 	port.linkDelay = delay
 }
 
-// connectNIC attaches node's NIC to input port (b, bp).
+// connectNIC attaches node's NIC (a slot in the nics slab) to input port
+// (b, bp).
 func (n *engine) connectNIC(node int32, b int32, bp int, delay sim.Duration) {
-	nic := &enic{
-		id:        node,
-		net:       n,
-		credits:   n.newCredits(),
-		linkDelay: delay,
-		edge:      b,
-		edgeIn:    int16(bp),
-	}
-	n.nics[node] = nic
-	n.routers[b].in[bp] = inPort{feederRouter: -1, feederPort: int16(node)}
+	nic := &n.nics[node]
+	nic.id = node
+	nic.net = n
+	nic.credits = n.newCredits()
+	nic.linkDelay = delay
+	nic.edge = b
+	nic.edgeIn = int16(bp)
+	n.routers[b].in[bp] = inPort{feederRouter: -1, feederPort: node}
 }
 
-func newRouter(id int32, outPorts, inPorts int) *router {
-	return &router{
-		id:  id,
-		out: make([]outPort, outPorts),
-		in:  make([]inPort, inPorts),
+// initRouters sizes the router slab and carves every router's port slices
+// out of two shared backing arrays (all three topologies use one radix per
+// network, so the slabs are rectangular). One allocation per array replaces
+// two slice allocations per router.
+func (n *engine) initRouters(count, outPorts, inPorts int) {
+	n.routers = make([]router, count)
+	outSlab := make([]outPort, count*outPorts)
+	inSlab := make([]inPort, count*inPorts)
+	for i := range n.routers {
+		r := &n.routers[i]
+		r.id = int32(i)
+		r.out = outSlab[i*outPorts : (i+1)*outPorts : (i+1)*outPorts]
+		r.in = inSlab[i*inPorts : (i+1)*inPorts : (i+1)*inPorts]
 	}
+}
+
+// initNICs sizes the NIC slab; connectNIC fills the slots in.
+func (n *engine) initNICs(count int) {
+	n.nics = make([]enic, count)
 }

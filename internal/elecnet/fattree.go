@@ -53,11 +53,8 @@ func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
 		engine: newEngine(cfg.Engine, "fattree", 5),
 		k:      k,
 	}
-	net.routers = make([]*router, numEdge+numAgg+numCore)
-	for i := range net.routers {
-		net.routers[i] = newRouter(int32(i), k, k)
-	}
-	net.nics = make([]*enic, hosts)
+	net.initRouters(numEdge+numAgg+numCore, k, k)
+	net.initNICs(hosts)
 
 	edgeID := func(pod, e int) int32 { return int32(pod*half + e) }
 	aggID := func(pod, a int) int32 { return int32(numEdge + pod*half + a) }

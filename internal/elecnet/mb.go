@@ -52,13 +52,8 @@ func NewMultiButterfly(cfg MBConfig) (*MultiButterfly, error) {
 	stages := wiring.Stages
 
 	// Router (s,k) has id s*sw+k; 2m outputs, 2m inputs.
-	net.routers = make([]*router, stages*sw)
-	for s := 0; s < stages; s++ {
-		for k := 0; k < sw; k++ {
-			net.routers[s*sw+k] = newRouter(int32(s*sw+k), 2*m, 2*m)
-		}
-	}
-	net.nics = make([]*enic, cfg.Nodes)
+	net.initRouters(stages*sw, 2*m, 2*m)
+	net.initNICs(cfg.Nodes)
 
 	// Inter-stage wiring follows the randomized matchings.
 	for s := 0; s < stages-1; s++ {
@@ -117,7 +112,7 @@ func NewMultiButterfly(cfg MBConfig) (*MultiButterfly, error) {
 		best := d * m
 		for p := 1; p < m; p++ {
 			cand := d*m + p
-			cb, bb := r.out[cand], r.out[best]
+			cb, bb := &r.out[cand], &r.out[best]
 			if cb.credits[vc] > bb.credits[vc] ||
 				(cb.credits[vc] == bb.credits[vc] && cb.queueLen() < bb.queueLen()) {
 				best = cand

@@ -49,12 +49,13 @@ func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
 	gTotal := reg.Count(portsTotal, 0)
 	tel.OnProbe(func() {
 		var src, queued uint64
-		for _, nic := range n.nics {
-			src += uint64(nic.queue.len())
+		for ni := range n.nics {
+			src += uint64(n.nics[ni].queue.len())
 		}
 		now := n.Engine().Now()
 		var busy, total uint64
-		for _, r := range n.routers {
+		for ri := range n.routers {
+			r := &n.routers[ri]
 			for pi := range r.out {
 				port := &r.out[pi]
 				queued += uint64(port.queued)

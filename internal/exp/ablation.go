@@ -207,7 +207,7 @@ func Ablations(sc Scale) ([]AblationRow, error) {
 
 	jobs := []func() (AblationRow, error){wiringJob, bebJob, dflyJob, multJob, rateJob}
 	rows := make([]AblationRow, len(jobs))
-	err := runParallel(len(jobs), func(i int) error {
+	err := runParallel(len(jobs), sc.workers(), func(i int) error {
 		r, err := jobs[i]()
 		if err != nil {
 			return err

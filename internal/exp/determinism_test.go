@@ -114,6 +114,42 @@ func TestShardCountInvariant(t *testing.T) {
 	}
 }
 
+// TestShardCountInvariantMidScale repeats the invariance check at the Mid
+// preset (8,192-node Baldur, 8,192-host fat-tree): large enough that the
+// SoA slab layouts, the compact NIC tables and the streaming histograms all
+// hold thousands of nodes' state, so a layout bug that aliases neighbouring
+// nodes' slots — invisible at 64 nodes — breaks the bit-identical guarantee
+// here. Tens of seconds of CPU, so -short skips it.
+func TestShardCountInvariantMidScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-scale invariance is tens of seconds; skipped with -short")
+	}
+	for _, cell := range []struct {
+		network, pattern string
+		load             float64
+	}{
+		{"baldur", "random_permutation", 0.5},
+		{"fattree", "random_permutation", 0.5},
+	} {
+		ref, err := RunOpenLoop(cell.network, cell.pattern, cell.load, Mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Events == 0 || !ref.Finished {
+			t.Fatalf("%s: serial mid-scale run empty or unfinished: %+v", cell.network, ref)
+		}
+		sc := Mid
+		sc.Shards = 4
+		got, err := RunOpenLoop(cell.network, cell.pattern, cell.load, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("%s shards=4 diverged at mid scale:\n got %+v\nwant %+v", cell.network, got, ref)
+		}
+	}
+}
+
 // TestSeededReplayRepeatable runs the same cell twice in one process and
 // requires identical results: event and packet pools must not leak state
 // between what should be independent instances.

@@ -69,6 +69,12 @@ type Scale struct {
 	// the packet engine by internal/check/calib). Workload replays and
 	// ping-pong cells are packet-only.
 	Fidelity netsim.Fidelity
+	// MaxParallel caps the number of simulation cells resident at once in
+	// the fan-out runners (0: GOMAXPROCS, the historical behaviour). Every
+	// concurrent cell holds a full network instance, so the large-memory
+	// scales set this to keep peak RSS at one-or-two networks' worth
+	// instead of multiplying it by the CPU count.
+	MaxParallel int
 }
 
 // Quick is the CI-sized scale. Node counts are matched as closely as the
@@ -105,6 +111,62 @@ var Full = Scale{
 	FatTreeK:       16,
 	TraceIters:     4,
 	Seed:           1,
+}
+
+// Mid is the shard-invariance stress scale: 8,192-node Baldur/MB, a
+// 9,702-node dragonfly and an 8,192-host fat-tree with a light packet
+// budget. Big enough that SoA-layout or sharding regressions that hide at
+// 1K nodes surface, small enough for CI (seconds per cell).
+var Mid = Scale{
+	Name:           "mid",
+	Nodes:          8192,
+	PacketsPerNode: 50,
+	DragonflyP:     7,  // 9,702 nodes
+	FatTreeK:       32, // 8,192 hosts
+	TraceIters:     1,
+	Seed:           1,
+	MaxParallel:    2,
+}
+
+// Datacenter is the memory-diet scale the paper's Section VI power/cost
+// sweeps reach analytically: 131,072-node Baldur/MB and a 128,000-host
+// fat-tree, simulated at packet level. The packet budget is deliberately
+// tiny — the point of the preset is that per-node *state* (NICs, routers,
+// tables, collectors) fits in bounded RSS, which is independent of how
+// many packets flow. One cell runs at a time (MaxParallel 1) so peak RSS
+// is one network's worth.
+var Datacenter = Scale{
+	Name:           "datacenter",
+	Nodes:          131072,
+	PacketsPerNode: 8,
+	DragonflyP:     13, // 114,582 nodes
+	FatTreeK:       80, // 128,000 hosts
+	TraceIters:     1,
+	Seed:           1,
+	MaxParallel:    1,
+}
+
+// Scales lists the named presets from smallest to largest.
+var Scales = []*Scale{&Quick, &Medium, &Full, &Mid, &Datacenter}
+
+// ScaleByName returns the named preset (quick, medium, full, mid,
+// datacenter) by value, so callers can override fields freely.
+func ScaleByName(name string) (Scale, bool) {
+	for _, sc := range Scales {
+		if sc.Name == name {
+			return *sc, true
+		}
+	}
+	return Scale{}, false
+}
+
+// ScaleNames returns the preset names in Scales order, for flag help.
+func ScaleNames() []string {
+	out := make([]string, len(Scales))
+	for i, sc := range Scales {
+		out[i] = sc.Name
+	}
+	return out
 }
 
 func (sc Scale) maxSim() sim.Time {

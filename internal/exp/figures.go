@@ -144,7 +144,7 @@ func Fig6(sc Scale, patterns []string, loads []float64, networks []string) ([]Fi
 			cells = append(cells, series{pat: pi, base: ni * len(loads), net: net})
 		}
 	}
-	err := runParallel(len(cells), func(ci int) error {
+	err := runParallel(len(cells), sc.workers(), func(ci int) error {
 		c := cells[ci]
 		var col netsim.Collector
 		for li, load := range loads {
@@ -210,7 +210,7 @@ func Fig7(sc Scale, networks []string) ([]Fig7Row, error) {
 			out = append(out, res{wl: wi, net: ni})
 		}
 	}
-	err := runParallel(len(out), func(i int) error {
+	err := runParallel(len(out), sc.workers(), func(i int) error {
 		r := &out[i]
 		wl, netName := Fig7Workloads[r.wl], networks[r.net]
 		switch wl {

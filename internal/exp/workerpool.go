@@ -5,16 +5,32 @@ import (
 	"sync"
 )
 
+// workers resolves the fan-out worker count for this scale: GOMAXPROCS,
+// additionally clamped by MaxParallel when set. Each worker holds one live
+// network instance plus its Collector, so at the large-memory scales the
+// clamp — not the CPU count — bounds peak RSS.
+func (sc Scale) workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if sc.MaxParallel > 0 && w > sc.MaxParallel {
+		w = sc.MaxParallel
+	}
+	return w
+}
+
 // runParallel runs fn(0), ..., fn(n-1) concurrently on a fixed pool of
-// min(n, GOMAXPROCS) workers draining a shared index channel, and returns
-// the lowest-index error, if any. Every simulation cell in the experiment
-// harness is independent (its own network instance and seeded RNGs), so the
-// figure runners fan their cells out through this one helper. A fixed pool
-// — rather than one goroutine per cell parked on a semaphore — keeps the
-// scheduler footprint at the worker count no matter how many cells a sweep
-// enqueues.
-func runParallel(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+// min(n, workers) goroutines draining a shared index channel, and returns
+// the lowest-index error, if any (workers <= 0 means GOMAXPROCS). Every
+// simulation cell in the experiment harness is independent (its own network
+// instance and seeded RNGs), so the figure runners fan their cells out
+// through this one helper. A fixed pool — rather than one goroutine per
+// cell parked on a semaphore — keeps the scheduler footprint at the worker
+// count no matter how many cells a sweep enqueues, and the per-scale cap
+// (Scale.workers) keeps resident network state from multiplying with the
+// CPU count at datacenter scale.
+func runParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,60 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// PeakRSSBytes returns the process's peak resident set size in bytes, read
+// from /proc/self/status (VmHWM, the kernel's resident high-water mark).
+// Unlike Go's heap accounting it includes goroutine stacks, the runtime
+// itself and any non-heap mappings, so it is the number an operator's
+// memory limit actually bites on. Returns 0 on platforms without procfs —
+// callers should treat 0 as "unavailable", not "tiny".
+func PeakRSSBytes() uint64 {
+	return procStatusBytes("VmHWM:")
+}
+
+// CurrentRSSBytes returns the current resident set size in bytes (VmRSS),
+// or 0 when unavailable.
+func CurrentRSSBytes() uint64 {
+	return procStatusBytes("VmRSS:")
+}
+
+// procStatusBytes extracts one kB-denominated field from /proc/self/status.
+func procStatusBytes(field string) uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte(field)) {
+			continue
+		}
+		// Format: "VmHWM:   123456 kB"
+		f := bytes.Fields(line[len(field):])
+		if len(f) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(f[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// LiveHeapBytes forces a collection and returns the live Go heap in bytes
+// (HeapAlloc after GC). Where PeakRSSBytes answers "what did the OS see",
+// this answers "what does the simulation state actually retain" — the
+// number the bytes-per-node budget is written against, stable across GC
+// pacing and allocator slack.
+func LiveHeapBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

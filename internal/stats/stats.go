@@ -87,19 +87,43 @@ func (r *Running) Merge(other *Running) {
 
 // Histogram is a logarithmically bucketed histogram of non-negative values.
 // Buckets grow geometrically so that percentile queries stay within a fixed
-// relative error (~2.4% with the default 30 buckets/octave) across the nine
-// decades spanned by network latencies (ns..ms). The zero value is ready.
+// relative error across the nine decades spanned by network latencies
+// (ns..ms). The zero value is ready.
+//
+// Memory is bounded by the dynamic range of the data, not the sample count:
+// counts live in a dense array covering [base, base+len(counts)) bucket
+// indices, so a run spanning ns..ms costs ~600 int64 slots (~5 KB) no matter
+// how many samples stream through. Counts are integers, which makes Merge
+// exactly associative and commutative — folding shards in any order yields
+// bit-identical quantiles (the shard-order fold invariant).
+//
+// Quantile error bound: with bucketsPerOctave=30 a bucket spans a 2^(1/30)
+// ratio and the estimate is the geometric midpoint, so the relative error is
+// at most 2^(1/60)-1 ≈ 1.16%. For exact quantiles at small (Table-VI) scale,
+// SetExact(true) retains raw samples and Quantile switches to exact
+// rank-order selection.
 type Histogram struct {
-	buckets map[int]int64
-	run     Running
-	// sorted caches the ascending bucket keys for quantile queries; it is
-	// valid while it has the same length as buckets (keys are never
-	// removed, so a stale cache can only be shorter).
-	sorted []int
+	// counts[i] is the number of samples in bucket base+i; zero counts
+	// samples with x <= 0 (which have no logarithm).
+	counts []int64
+	base   int
+	zero   int64
+	run    Running
+	// samples retains the raw observations when exact mode is on.
+	exact   bool
+	samples []float64
+	// sampleSorted tracks whether samples is currently sorted, so repeated
+	// Quantile calls after the same Add sequence sort only once.
+	sampleSorted bool
 }
 
 // bucketsPerOctave controls the relative resolution of the histogram.
 const bucketsPerOctave = 30
+
+// MaxQuantileRelError is the worst-case relative error of Quantile in
+// streaming (non-exact) mode: half a bucket on the log scale,
+// 2^(1/(2*bucketsPerOctave)) - 1 ≈ 1.16%.
+var MaxQuantileRelError = math.Exp2(1/(2.0*bucketsPerOctave)) - 1
 
 func bucketOf(x float64) int {
 	if x <= 0 {
@@ -112,15 +136,57 @@ func bucketLow(b int) float64 {
 	return math.Exp2(float64(b) / bucketsPerOctave)
 }
 
+// SetExact toggles exact mode: when on, Add retains every observation and
+// Quantile answers by exact rank-order selection instead of bucket midpoints.
+// Exact mode costs 8 bytes per sample — intended for Table-VI-scale runs,
+// not datacenter-scale ones. Must be set before the first Add.
+func (h *Histogram) SetExact(on bool) { h.exact = on }
+
+// Exact reports whether exact mode is on.
+func (h *Histogram) Exact() bool { return h.exact }
+
+// ensure grows the dense count array to cover bucket index b.
+func (h *Histogram) ensure(b int) {
+	if len(h.counts) == 0 {
+		// Round the base down to a multiple of 64 so histograms over the
+		// same data range land on the same backing range regardless of
+		// which sample arrived first.
+		h.base = b &^ 63
+		h.counts = make([]int64, 64)
+		return
+	}
+	lo, hi := h.base, h.base+len(h.counts) // covered: [lo, hi)
+	if b >= lo && b < hi {
+		return
+	}
+	nlo, nhi := lo, hi
+	if b < nlo {
+		nlo = b &^ 63
+	}
+	if b >= nhi {
+		nhi = (b + 64) &^ 63
+	}
+	grown := make([]int64, nhi-nlo)
+	copy(grown[lo-nlo:], h.counts)
+	h.base, h.counts = nlo, grown
+}
+
 // Add records one observation. Negative values are clamped to zero.
 func (h *Histogram) Add(x float64) {
 	if x < 0 {
 		x = 0
 	}
-	if h.buckets == nil {
-		h.buckets = make(map[int]int64)
+	if x <= 0 {
+		h.zero++
+	} else {
+		b := bucketOf(x)
+		h.ensure(b)
+		h.counts[b-h.base]++
 	}
-	h.buckets[bucketOf(x)]++
+	if h.exact {
+		h.samples = append(h.samples, x)
+		h.sampleSorted = false
+	}
 	h.run.Add(x)
 }
 
@@ -137,8 +203,10 @@ func (h *Histogram) Max() float64 { return h.run.Max() }
 func (h *Histogram) Min() float64 { return h.run.Min() }
 
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1). With no
-// observations it returns 0. The estimate uses the geometric midpoint of the
-// containing bucket, giving bounded relative error.
+// observations it returns 0. In streaming mode the estimate uses the
+// geometric midpoint of the containing bucket (relative error at most
+// MaxQuantileRelError); in exact mode it returns the exact rank-order
+// statistic.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.run.N()
 	if n == 0 {
@@ -150,28 +218,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.run.Max()
 	}
-	if len(h.sorted) != len(h.buckets) {
-		h.sorted = h.sorted[:0]
-		for k := range h.buckets {
-			h.sorted = append(h.sorted, k)
-		}
-		sort.Ints(h.sorted)
-	}
-	keys := h.sorted
 	// rank is 1-based: the ceil(q*n)-th smallest observation.
 	rank := int64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	var seen int64
-	for _, k := range keys {
-		seen += h.buckets[k]
+	// Exact selection requires a full sample set: merging a streaming-only
+	// histogram into an exact one leaves a gap, so fall back to buckets.
+	if h.exact && int64(len(h.samples)) == n {
+		if !h.sampleSorted {
+			sort.Float64s(h.samples)
+			h.sampleSorted = true
+		}
+		return h.samples[rank-1]
+	}
+	seen := h.zero
+	if seen >= rank {
+		return 0
+	}
+	for i, c := range h.counts {
+		seen += c
 		if seen >= rank {
-			if k == math.MinInt32 {
-				return 0
-			}
-			lo := bucketLow(k)
-			hi := bucketLow(k + 1)
+			lo := bucketLow(h.base + i)
+			hi := bucketLow(h.base + i + 1)
 			return math.Sqrt(lo * hi)
 		}
 	}
@@ -181,28 +250,40 @@ func (h *Histogram) Quantile(q float64) float64 {
 // P99 returns the 99th-percentile estimate (the paper's "tail latency").
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
-// Merge folds other into h.
+// Merge folds other into h. Bucket counts are integers, so the bucketed
+// quantiles of the result are invariant to merge order and grouping (the
+// mean/variance moments follow Running.Merge's fixed-order contract).
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || other.buckets == nil {
+	if other == nil || other.run.N() == 0 {
 		return
 	}
-	if h.buckets == nil {
-		h.buckets = make(map[int]int64)
+	h.zero += other.zero
+	if len(other.counts) > 0 {
+		h.ensure(other.base)
+		h.ensure(other.base + len(other.counts) - 1)
+		off := other.base - h.base
+		for i, c := range other.counts {
+			h.counts[off+i] += c
+		}
 	}
-	for k, c := range other.buckets {
-		h.buckets[k] += c
+	if h.exact {
+		h.samples = append(h.samples, other.samples...)
+		h.sampleSorted = false
 	}
 	h.run.Merge(&other.run)
 }
 
-// Reset empties the histogram while keeping its bucket map and key cache
-// allocated, so a histogram can be reused across runs without reallocating.
+// Reset empties the histogram while keeping its count array allocated, so a
+// histogram can be reused across runs without reallocating (a fresh run over
+// a similar data range costs zero allocations). Exact mode is preserved.
 func (h *Histogram) Reset() {
-	for k := range h.buckets {
-		delete(h.buckets, k)
+	for i := range h.counts {
+		h.counts[i] = 0
 	}
+	h.zero = 0
 	h.run = Running{}
-	h.sorted = h.sorted[:0]
+	h.samples = h.samples[:0]
+	h.sampleSorted = false
 }
 
 // String summarizes the histogram for logs.
