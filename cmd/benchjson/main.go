@@ -18,11 +18,16 @@ import (
 	"runtime"
 	"testing"
 
+	"baldur/internal/check"
 	"baldur/internal/check/calib"
+	"baldur/internal/check/harness"
 	"baldur/internal/exp"
+	"baldur/internal/faults"
+	"baldur/internal/netsim"
 	"baldur/internal/prof"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
+	"baldur/internal/traffic"
 )
 
 // result is one benchmark's measurements.
@@ -71,6 +76,16 @@ const twinSpeedupFloor = 100.0
 // claim itself — bounded memory per node — is what the entry exists to pin.
 const datacenterBytesPerNodeCeil = 8192.0
 
+// faultsExtraAllocsCeil is the absolute ceiling on extra allocations per run
+// for driving a fault-free cell through faults.Run versus the plain
+// netsim.Run loop (the faults_overhead entry's extra_allocs_op metric). The
+// disabled path's whole budget is the one Controller allocation per run plus
+// slack for runtime-internal allocations landing inside the measurement
+// window; an allocation creeping into the per-arrival fault guards would
+// show up as hundreds per op (the cell injects 192 packets) and trip the
+// gate.
+const faultsExtraAllocsCeil = 8.0
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
 	check := flag.String("check", "", "baseline JSON to diff against; exits 1 if an engine microbenchmark regresses by >15% ns/op")
@@ -86,6 +101,7 @@ func main() {
 		{"baldur_simulator", benchBaldurSimulator},
 		{"baldur_simulator_sharded", benchBaldurSimulatorSharded},
 		{"telemetry_overhead", benchTelemetryOverhead},
+		{"faults_overhead", benchFaultsOverhead},
 		{"twin_speedup", benchTwinSpeedup},
 		// Last on purpose: peak RSS is a process-lifetime high-water mark,
 		// so the 128K-node runs must come after every smaller benchmark for
@@ -179,6 +195,17 @@ func compare(base, fresh report, w io.Writer) bool {
 			}
 			fmt.Fprintf(w, "check %-36s %8.0f B/node (ceiling %.0f) %s\n",
 				r.Name, bpn, datacenterBytesPerNodeCeil, verdict)
+			continue
+		}
+		if r.Name == "faults_overhead" {
+			extra := r.Extra["extra_allocs_op"]
+			verdict := "ok"
+			if extra > faultsExtraAllocsCeil {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "check %-36s %8.1f extra allocs/op (ceiling %.0f) %s\n",
+				r.Name, extra, faultsExtraAllocsCeil, verdict)
 			continue
 		}
 		if r.Name == "twin_speedup" {
@@ -354,6 +381,53 @@ func benchTelemetryOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalSamples)/float64(b.N), "samples/run")
 	b.ReportMetric(float64(totalRecords)/float64(b.N), "records/run")
+}
+
+// benchFaultsOverhead prices the fault-injection layer's disabled path: the
+// same open-loop baldur cell runs b.N times through the plain netsim.Run
+// loop and b.N times through faults.Run with an empty script, and the
+// allocation difference per run is reported as extra_allocs_op. The ns/op of
+// this entry covers both phases and is not gated; -check gates
+// extra_allocs_op against the absolute faultsExtraAllocsCeil, pinning the
+// claim that a fault-capable build costs scripted-free runs nothing on the
+// allocation side.
+func benchFaultsOverhead(b *testing.B) {
+	cfg := check.FuzzConfig{
+		Net: "baldur", NodesExp: 4, LoadPct: 70, PacketsPerNode: 12,
+		FaultStage: -1, Seed: 1,
+	}.Canon()
+	deadline := sim.Time(0).Add(500 * sim.Microsecond)
+	measure := func(drive func(net netsim.Network)) float64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			net, _, err := harness.Build(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var col netsim.Collector
+			col.Attach(net)
+			ol := traffic.OpenLoop{
+				Pattern:        traffic.RandomPermutation(net.NumNodes(), cfg.Seed+10),
+				Load:           float64(cfg.LoadPct) / 100,
+				PacketsPerNode: cfg.PacketsPerNode,
+				Seed:           cfg.Seed + 100,
+			}
+			ol.Start(net)
+			drive(net)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	}
+	plain := measure(func(net netsim.Network) { netsim.Run(net, deadline) })
+	scripted := measure(func(net netsim.Network) {
+		ctrl := faults.NewController(faults.Script{})
+		if _, err := faults.Run(net, ctrl, faults.RunOptions{Deadline: deadline}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(scripted-plain, "extra_allocs_op")
+	b.ReportMetric(plain, "plain_allocs_op")
 }
 
 // benchTwinSpeedup measures the analytical twin's wall-clock advantage over

@@ -67,6 +67,33 @@ func TestCompareMissingFromRun(t *testing.T) {
 	}
 }
 
+func TestCompareFaultsOverheadGate(t *testing.T) {
+	// The faults_overhead gate is absolute on the fresh run (no baseline
+	// entry needed): the disabled fault path may cost at most the per-run
+	// controller allocation.
+	fresh := rep(result{Name: "faults_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 1}})
+	var out strings.Builder
+	if !compare(rep(), fresh, &out) {
+		t.Errorf("1 extra alloc/op failed the %.0f-alloc gate:\n%s", faultsExtraAllocsCeil, out.String())
+	}
+	if !strings.Contains(out.String(), "faults_overhead") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("no ok verdict printed:\n%s", out.String())
+	}
+}
+
+func TestCompareFaultsOverheadRegression(t *testing.T) {
+	fresh := rep(result{Name: "faults_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 192}})
+	var out strings.Builder
+	if compare(rep(), fresh, &out) {
+		t.Error("a per-packet allocation on the disabled fault path passed the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict printed:\n%s", out.String())
+	}
+}
+
 func TestCompareUnusableBaselineEntry(t *testing.T) {
 	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 0})
 	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})

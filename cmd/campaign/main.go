@@ -1,0 +1,77 @@
+// Command campaign executes a declarative fault-scenario campaign: a JSON
+// spec crossing a configuration grid with seeds and fault scripts, each cell
+// simulated with the scripted fault layer (internal/faults) and reported as
+// an availability table — delivered fraction, unavailability windows, tail
+// inflation and retransmission amplification versus the cell's fault-free
+// baseline.
+//
+// Usage:
+//
+//	campaign -spec examples/campaigns/smoke.json [-csv out.csv] [-agg-csv agg.csv] [-q]
+//
+// The process exits non-zero on build errors, shard-count divergence or
+// audit violations, so it slots directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"baldur/internal/exp"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to the campaign spec JSON (required)")
+	csvPath := flag.String("csv", "", "write the per-cell report CSV to this path (\"-\" for stdout)")
+	aggPath := flag.String("agg-csv", "", "write the across-seed aggregate CSV to this path (\"-\" for stdout)")
+	quiet := flag.Bool("q", false, "suppress the rendered table")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := exp.ParseCampaign(data)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := exp.RunCampaign(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("campaign %q: %d cells\n\n%s", rep.Spec.Name, len(rep.Cells), rep.Table())
+	}
+	if err := writeOut(*csvPath, rep.CSV()); err != nil {
+		fatal(err)
+	}
+	if err := writeOut(*aggPath, rep.AggregateCSV()); err != nil {
+		fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func writeOut(path, content string) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		_, err := os.Stdout.WriteString(content)
+		return err
+	default:
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

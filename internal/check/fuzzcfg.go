@@ -45,6 +45,11 @@ type FuzzConfig struct {
 	// DisableBEB / DisableRetransmit are the protocol ablations.
 	DisableBEB        bool
 	DisableRetransmit bool
+	// MaxAttempts caps baldur's per-packet transmission attempts (0: model
+	// default, unlimited). Fault campaigns set it so runs facing dead
+	// switches or severed links drain; the byte decoder leaves it zero so
+	// existing fuzz corpus inputs decode unchanged.
+	MaxAttempts int
 	// FaultStage/FaultSwitch inject a faulty switch (baldur; -1: none).
 	FaultStage  int
 	FaultSwitch int
@@ -98,9 +103,10 @@ func (c FuzzConfig) Canon() FuzzConfig {
 		c.Multiplicity = clampInt(c.Multiplicity, 1, 3)
 		if c.DisableRetransmit {
 			// The reliability knobs are dead weight without the protocol.
-			c.RTONs, c.BEBSlotNs, c.MaxBackoffExp = 0, 0, 0
+			c.RTONs, c.BEBSlotNs, c.MaxBackoffExp, c.MaxAttempts = 0, 0, 0, 0
 			c.DisableBEB = false
 		} else {
+			c.MaxAttempts = clampInt(c.MaxAttempts, 0, 64)
 			if c.RTONs != 0 {
 				c.RTONs = clampInt(c.RTONs, 300, 5000)
 			}
@@ -138,7 +144,7 @@ func (c FuzzConfig) Canon() FuzzConfig {
 }
 
 func (c *FuzzConfig) zeroBaldurOnly() {
-	c.RTONs, c.BEBSlotNs, c.MaxBackoffExp = 0, 0, 0
+	c.RTONs, c.BEBSlotNs, c.MaxBackoffExp, c.MaxAttempts = 0, 0, 0, 0
 	c.DisableBEB, c.DisableRetransmit = false, false
 	c.FaultStage, c.FaultSwitch = -1, 0
 }
@@ -209,6 +215,7 @@ func (c FuzzConfig) GoLiteral() string {
 	f("RTONs", c.RTONs)
 	f("BEBSlotNs", c.BEBSlotNs)
 	f("MaxBackoffExp", c.MaxBackoffExp)
+	f("MaxAttempts", c.MaxAttempts)
 	if c.DisableBEB {
 		b.WriteString(", DisableBEB: true")
 	}
@@ -256,6 +263,7 @@ func (c FuzzConfig) candidates() []FuzzConfig {
 	mut(func(x *FuzzConfig) { x.RTONs = 0 })
 	mut(func(x *FuzzConfig) { x.BEBSlotNs = 0 })
 	mut(func(x *FuzzConfig) { x.MaxBackoffExp = 0 })
+	mut(func(x *FuzzConfig) { x.MaxAttempts = 0 })
 	mut(func(x *FuzzConfig) { x.DisableBEB = false })
 	mut(func(x *FuzzConfig) { x.DisableRetransmit = false })
 	mut(func(x *FuzzConfig) { x.Seed = 1 })

@@ -40,6 +40,9 @@ type Fingerprint struct {
 	AckAttempts     uint64
 	AckDrops        uint64
 	Retransmissions uint64
+	GaveUp          uint64
+	FaultDrops      uint64
+	Dropped         uint64
 	MaxHops         int
 
 	CollectorDelivered uint64
@@ -57,9 +60,11 @@ type Result struct {
 	Checkpoints int
 }
 
-// build constructs the configured network with the given shard count and
-// returns it plus a stats reader.
-func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint, error) {
+// Build constructs the configured network with the given shard count and
+// returns it plus a stats reader. The campaign runner (internal/exp) reuses
+// it so scenario cells exercise the exact networks the fuzz differential
+// covers.
+func Build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint, error) {
 	switch cfg.Net {
 	case "baldur":
 		n, err := core.New(core.Config{
@@ -70,6 +75,7 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 			MaxBackoffExp:     cfg.MaxBackoffExp,
 			DisableBEB:        cfg.DisableBEB,
 			DisableRetransmit: cfg.DisableRetransmit,
+			MaxAttempts:       cfg.MaxAttempts,
 			Seed:              cfg.Seed,
 			Shards:            shards,
 		})
@@ -92,6 +98,8 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 				AckAttempts:     st.AckAttempts,
 				AckDrops:        st.AckDrops,
 				Retransmissions: st.Retransmissions,
+				GaveUp:          st.GaveUp,
+				FaultDrops:      st.FaultDrops,
 			}
 		}, nil
 	case "multibutterfly":
@@ -105,7 +113,7 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 			return nil, nil, err
 		}
 		return n, func() Fingerprint {
-			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, MaxHops: n.MaxHops}
+			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, Dropped: n.Dropped, MaxHops: n.MaxHops}
 		}, nil
 	case "dragonfly":
 		n, err := elecnet.NewDragonfly(elecnet.DragonflyConfig{P: 2, Seed: cfg.Seed, Shards: shards})
@@ -113,7 +121,7 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 			return nil, nil, err
 		}
 		return n, func() Fingerprint {
-			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, MaxHops: n.MaxHops}
+			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, Dropped: n.Dropped, MaxHops: n.MaxHops}
 		}, nil
 	case "fattree":
 		n, err := elecnet.NewFatTree(elecnet.FatTreeConfig{K: 4, Shards: shards})
@@ -121,7 +129,7 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 			return nil, nil, err
 		}
 		return n, func() Fingerprint {
-			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, MaxHops: n.MaxHops}
+			return Fingerprint{Injected: n.Injected, Delivered: n.Delivered, Dropped: n.Dropped, MaxHops: n.MaxHops}
 		}, nil
 	}
 	return nil, nil, fmt.Errorf("harness: unknown network %q", cfg.Net)
@@ -134,7 +142,7 @@ func build(cfg check.FuzzConfig, shards int) (netsim.Network, func() Fingerprint
 // what the auditor saw.
 func Run(cfg check.FuzzConfig, shards int, audit bool, skew uint64) (Result, error) {
 	cfg = cfg.Canon()
-	net, read, err := build(cfg, shards)
+	net, read, err := Build(cfg, shards)
 	if err != nil {
 		return Result{}, err
 	}

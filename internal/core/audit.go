@@ -111,10 +111,10 @@ func (n *Network) audit(a *check.Auditor, at sim.Time, drained bool) {
 	}
 
 	if retxOn {
-		if inj != completed+outstanding {
+		if inj != completed+outstanding+st.GaveUp {
 			a.Violatef(at, -1, "core/conservation",
-				"injected=%d != completed=%d + outstanding=%d (delivered=%d queued=%d drops=%d retx=%d)",
-				inj, completed, outstanding, st.Delivered, queued, st.DataDrops, st.Retransmissions)
+				"injected=%d != completed=%d + outstanding=%d + gaveUp=%d (delivered=%d queued=%d drops=%d retx=%d)",
+				inj, completed, outstanding, st.GaveUp, st.Delivered, queued, st.DataDrops, st.Retransmissions)
 		}
 		if st.Delivered != tracked {
 			a.Violatef(at, -1, "core/dedup",
@@ -171,7 +171,13 @@ func (n *Network) audit(a *check.Auditor, at sim.Time, drained bool) {
 				"drained with queued=%d outstanding=%d", queued, outstanding)
 		}
 		if retxOn {
-			if completed != inj || st.Delivered != inj {
+			if completed+st.GaveUp != inj {
+				a.Violatef(at, -1, "core/conservation",
+					"drained with injected=%d != completed=%d + gaveUp=%d", inj, completed, st.GaveUp)
+			}
+			// Every abandoned packet forfeits its delivery guarantee; with
+			// none abandoned the protocol still delivers everything.
+			if st.GaveUp == 0 && st.Delivered != inj {
 				a.Violatef(at, -1, "core/conservation",
 					"drained with injected=%d completed=%d delivered=%d", inj, completed, st.Delivered)
 			}

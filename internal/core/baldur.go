@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"baldur/internal/faults"
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
 	"baldur/internal/stats"
@@ -62,6 +63,13 @@ type Config struct {
 	// DisableRetransmit turns the whole reliability protocol off: drops
 	// become losses. Used for raw drop-rate measurements (Table V).
 	DisableRetransmit bool
+	// MaxAttempts caps the transmission attempts per data packet (the
+	// original send plus retransmissions). When the cap is reached the
+	// sender abandons the packet instead of rearming the timer
+	// (Stats.GaveUp), so runs with unreachable destinations — dead
+	// switches, severed links — still drain. 0 means unlimited, the
+	// paper's protocol.
+	MaxAttempts int
 	// RegularWiring replaces the randomized inter-stage matchings with a
 	// classic deterministic butterfly (ablation of the expansion
 	// property: without randomization the network is not immune to
@@ -139,6 +147,13 @@ type Stats struct {
 	AckAttempts     uint64
 	AckDrops        uint64
 	Retransmissions uint64
+	// GaveUp counts data packets abandoned at Config.MaxAttempts: the
+	// sender cleared them from the retransmission buffer unACKed.
+	GaveUp uint64
+	// FaultDrops counts transmissions lost to injected faults (dead
+	// switches, degraded lasers, severed host links). It is a subset of
+	// DataDrops+AckDrops, never an extra loss category.
+	FaultDrops uint64
 	// DropsByStage histograms where contention bites.
 	DropsByStage []uint64
 	// MaxRetxBufBytes is the high-water mark of any node's unACKed
@@ -193,11 +208,19 @@ type Network struct {
 	// shard only).
 	dbgDrop func(p *netsim.Packet, stage int)
 
-	// fault, when set, marks one switch as dropping everything
-	// (Sec IV-F diagnosis support); testPath >= 0 forces deterministic
+	// Fault state (Sec IV-F diagnosis plus internal/faults scripting):
+	// deadSwitch is a set over (stage, switch), deadLink a set over severed
+	// host fibers, degrade the per-hop drop probability of degraded-laser
+	// operation and degradeRNG the fabric-shard stream behind its draws.
+	// faulty caches "any fault active" so the healthy traverse path pays
+	// one predictable branch per site; testPath >= 0 forces deterministic
 	// single-path routing.
-	fault    *FaultSpec
-	testPath int
+	faulty     bool
+	deadSwitch faults.Bitset
+	deadLink   faults.Bitset
+	degrade    float64
+	degradeRNG *sim.RNG
+	testPath   int
 
 	Stats Stats
 }
@@ -218,6 +241,7 @@ func New(cfg Config) (*Network, error) {
 	n.busy = make([]sim.Time, mb.Stages*n.busyStride)
 	n.Stats.DropsByStage = make([]uint64, mb.Stages)
 	n.testPath = -1
+	n.degradeRNG = sim.NewRNG(cfg.Seed ^ 0xdec4ade)
 
 	// Shard layout: serial runs use one shard aliasing n.Stats; parallel
 	// runs dedicate shard 0 to the fabric and spread NICs in contiguous
@@ -354,11 +378,28 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	}
 	perStage := n.cfg.SwitchLatency + n.cfg.InterStageDelay
 	sw, _ := n.mb.InjectionSwitch(p.Src)
+	if n.faulty && n.deadLink.Get(p.Src) {
+		// The source's host fiber is cut: the attempt never reaches
+		// stage 0.
+		n.dropFault(p, t0)
+		return
+	}
 	t := t0
 	for s := 0; s < n.mb.Stages; s++ {
-		if n.fault != nil && n.fault.Stage == s && n.fault.Switch == sw {
-			n.drop(p, s, t) // the faulty switch loses everything
-			return
+		if n.faulty {
+			if n.deadSwitch.Get(s*n.mb.SwitchesPerStage() + int(sw)) {
+				// The faulty switch loses everything.
+				n.fab.stats.FaultDrops++
+				n.drop(p, s, t)
+				return
+			}
+			if n.degrade > 0 && n.degradeRNG.Float64() < n.degrade {
+				// Degraded laser: the hop's light level is below the
+				// detection threshold.
+				n.fab.stats.FaultDrops++
+				n.drop(p, s, t)
+				return
+			}
 		}
 		d := n.routeBit(p, s)
 		w := n.cfg.Wavelengths
@@ -403,6 +444,10 @@ func (n *Network) traverse(p *netsim.Packet, t0 sim.Time) {
 	}
 	// sw is now the destination node id; last bit lands after the output
 	// host link plus the serialization time.
+	if n.faulty && n.deadLink.Get(int(sw)) {
+		n.dropFault(p, t)
+		return
+	}
 	n.postReceive(t.Add(n.cfg.LinkDelay+dur), &n.nics[sw], p)
 }
 
@@ -444,4 +489,33 @@ func (n *Network) drop(p *netsim.Packet, stage int, t sim.Time) {
 	// here — the timeout event is already scheduled. (With the protocol
 	// disabled the packet is simply lost; nothing tracks it: enqueueData
 	// skips the outstanding set in that mode.)
+}
+
+// dropFault loses a transmission to a severed host link: the same ledgers as
+// an in-network drop (so the attempt accounting stays exact) but attributed
+// to FaultDrops instead of a contention stage.
+func (n *Network) dropFault(p *netsim.Packet, t sim.Time) {
+	n.fab.stats.FaultDrops++
+	if n.dbgDrop != nil {
+		n.dbgDrop(p, -1)
+	}
+	if tp := n.fab.tp; tp != nil {
+		if p.Ack {
+			tp.ackDrops.Inc()
+		} else {
+			tp.dataDrops.Inc()
+		}
+		if tp.ring != nil {
+			tp.ring.Add(telemetry.Record{
+				At: t, Pkt: p.ID, Kind: telemetry.KindDrop,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
+			})
+		}
+	}
+	if p.Ack {
+		n.fab.stats.AckDrops++
+		n.fab.releaseAck(p)
+		return
+	}
+	n.fab.stats.DataDrops++
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"baldur/internal/check"
 	"baldur/internal/netsim"
 	"baldur/internal/reliability"
 	"baldur/internal/sim"
@@ -18,6 +19,144 @@ func TestInjectFaultValidation(t *testing.T) {
 	}
 	if err := n.InjectFault(FaultSpec{Stage: -1}); err != nil {
 		t.Errorf("clearing fault failed: %v", err)
+	}
+}
+
+func TestFaultSetAccumulatesAndClears(t *testing.T) {
+	// Faults now form a set: injecting a second switch must not forget the
+	// first, ClearFault removes exactly one, and the legacy negative-stage
+	// spec still clears everything.
+	n := mustNew(t, Config{Nodes: 64, Multiplicity: 2, Seed: 1, DisableRetransmit: true})
+	if err := n.InjectFault(FaultSpec{Stage: 0, Switch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectFault(FaultSpec{Stage: 0, Switch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0/1 feed stage-0 switch 0; nodes 2/3 feed switch 1.
+	if n.ProbePath(0, 33) {
+		t.Error("probe through first dead switch delivered")
+	}
+	if n.ProbePath(2, 33) {
+		t.Error("probe through second dead switch delivered")
+	}
+	if err := n.ClearFault(FaultSpec{Stage: 0, Switch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ProbePath(0, 33) {
+		t.Error("probe lost after its switch was restored")
+	}
+	if n.ProbePath(2, 33) {
+		t.Error("clearing one fault also cleared the other")
+	}
+	if err := n.InjectFault(FaultSpec{Stage: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ProbePath(2, 33) {
+		t.Error("negative-stage clear left a fault armed")
+	}
+	if err := n.ClearFault(FaultSpec{Stage: 99, Switch: 0}); err == nil {
+		t.Error("out-of-range ClearFault accepted")
+	}
+}
+
+func TestHostLinkKillAndRestore(t *testing.T) {
+	n := mustNew(t, Config{Nodes: 64, Multiplicity: 2, Seed: 1, DisableRetransmit: true})
+	if err := n.KillHostLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.ProbePath(0, 33) {
+		t.Error("probe from a severed node delivered")
+	}
+	if !n.ProbePath(5, 33) {
+		t.Error("unrelated probe lost while node 0's link is dead")
+	}
+	if n.ProbePath(5, 0) {
+		t.Error("probe into a severed node delivered")
+	}
+	if err := n.RestoreHostLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ProbePath(0, 33) || !n.ProbePath(5, 0) {
+		t.Error("probes still lost after the host link was restored")
+	}
+	if err := n.KillHostLink(-1); err == nil {
+		t.Error("out-of-range KillHostLink accepted")
+	}
+}
+
+func TestAttemptCapDrainsFaultedRun(t *testing.T) {
+	// With the reliability protocol on and a dead switch in every path of
+	// nodes 0/1, an uncapped run would retransmit past any horizon. The
+	// attempt cap must make it drain, count the abandoned packets in GaveUp,
+	// and keep every conservation ledger clean (the audit's faulted form:
+	// injected == completed + outstanding + gaveUp).
+	for _, k := range []int{1, 4} {
+		n := mustNew(t, Config{Nodes: 16, Multiplicity: 1, Seed: 1, MaxAttempts: 4, Shards: k})
+		if err := n.InjectFault(FaultSpec{Stage: 0, Switch: 0}); err != nil {
+			t.Fatal(err)
+		}
+		aud := check.New(check.Options{})
+		n.AttachAudit(aud)
+		for src := 0; src < 4; src++ {
+			src := src
+			n.ScheduleNode(src, 0, eventFunc(func() { n.Send(src, 15-src, 0) }))
+		}
+		more := netsim.RunChecked(n, sim.Time(2*sim.Millisecond), nil, aud)
+		if more {
+			t.Errorf("K=%d: capped faulted run did not drain", k)
+		}
+		if err := aud.Err(); err != nil {
+			t.Errorf("K=%d: %v", k, err)
+		}
+		n.SyncStats()
+		if n.Stats.GaveUp != 2 {
+			// Nodes 0 and 1 feed the dead stage-0 switch; 2 and 3 do not.
+			t.Errorf("K=%d: GaveUp = %d, want 2", k, n.Stats.GaveUp)
+		}
+		if n.Stats.Delivered != 2 {
+			t.Errorf("K=%d: Delivered = %d, want the 2 unaffected sources", k, n.Stats.Delivered)
+		}
+		if n.Stats.FaultDrops == 0 {
+			t.Errorf("K=%d: no FaultDrops counted through a dead switch", k)
+		}
+		if n.Stats.Retransmissions < 2*3 {
+			// At least 3 retries per abandoned packet (unaffected sources
+			// may add spurious timeout retransmissions on top).
+			t.Errorf("K=%d: Retransmissions = %d, want >= 6", k, n.Stats.Retransmissions)
+		}
+	}
+}
+
+func TestRestorationRestoresDelivery(t *testing.T) {
+	// Kill the switch under node 0, let the protocol retry against it, then
+	// restore: the pending packet must deliver with no attempt cap needed.
+	n := mustNew(t, Config{Nodes: 16, Multiplicity: 1, Seed: 1})
+	if err := n.InjectFault(FaultSpec{Stage: 0, Switch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	aud := check.New(check.Options{})
+	n.AttachAudit(aud)
+	n.Send(0, 9, 0)
+	netsim.RunChecked(n, sim.Time(20*sim.Microsecond), nil, aud)
+	n.SyncStats()
+	if n.Stats.Delivered != 0 || n.Stats.FaultDrops == 0 {
+		t.Fatalf("construction broke: delivered=%d faultDrops=%d while the switch is dead",
+			n.Stats.Delivered, n.Stats.FaultDrops)
+	}
+	if err := n.ClearFault(FaultSpec{Stage: 0, Switch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	more := netsim.RunChecked(n, sim.Time(2*sim.Millisecond), nil, aud)
+	if more {
+		t.Error("run did not drain after restoration")
+	}
+	if err := aud.Err(); err != nil {
+		t.Error(err)
+	}
+	n.SyncStats()
+	if n.Stats.Delivered != 1 || n.Stats.GaveUp != 0 {
+		t.Errorf("delivered=%d gaveUp=%d after restore, want 1 and 0", n.Stats.Delivered, n.Stats.GaveUp)
 	}
 }
 

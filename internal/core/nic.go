@@ -203,6 +203,15 @@ func (c *nic) timeout(seq uint64, attempt int) {
 		return // ACKed, or a newer attempt owns the timer
 	}
 	n := c.net
+	if limit := n.cfg.MaxAttempts; limit > 0 && p.Retries+1 >= limit {
+		// Attempt cap: p.Retries+1 attempts are already on the wire or
+		// lost. Abandon the packet so a run facing a dead switch or a
+		// severed link drains instead of retransmitting forever. A late
+		// ACK for it lands in the auditor's unmatched tally.
+		c.forget(p)
+		c.sh.stats.GaveUp++
+		return
+	}
 	p.Retries++
 	c.sh.stats.Retransmissions++
 	if tp := c.sh.tp; tp != nil {

@@ -83,6 +83,8 @@ func (n *Network) SyncStats() {
 			agg.AckAttempts += s.AckAttempts
 			agg.AckDrops += s.AckDrops
 			agg.Retransmissions += s.Retransmissions
+			agg.GaveUp += s.GaveUp
+			agg.FaultDrops += s.FaultDrops
 			for j, v := range s.DropsByStage {
 				agg.DropsByStage[j] += v
 			}

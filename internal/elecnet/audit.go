@@ -57,14 +57,14 @@ func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 	}
 
 	inj := n.Injected + a.SkewInjected
-	if n.Delivered > inj {
+	if n.Delivered+n.Dropped > inj {
 		a.Violatef(at, -1, "elec/conservation",
-			"%s: delivered=%d > injected=%d", n.name, n.Delivered, inj)
+			"%s: delivered=%d + dropped=%d > injected=%d", n.name, n.Delivered, n.Dropped, inj)
 	}
-	if inFlight := int64(inj) - int64(n.Delivered); stateLive != inFlight {
+	if inFlight := int64(inj) - int64(n.Delivered) - int64(n.Dropped); stateLive != inFlight {
 		a.Violatef(at, -1, "elec/conservation",
-			"%s: %d live packet states but injected=%d - delivered=%d = %d in flight",
-			n.name, stateLive, inj, n.Delivered, inFlight)
+			"%s: %d live packet states but injected=%d - delivered=%d - dropped=%d = %d in flight",
+			n.name, stateLive, inj, n.Delivered, n.Dropped, inFlight)
 	}
 
 	var queuedStates int64
@@ -131,9 +131,9 @@ func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 	}
 
 	if drained {
-		if inj != n.Delivered {
+		if inj != n.Delivered+n.Dropped {
 			a.Violatef(at, -1, "elec/conservation",
-				"%s: drained with injected=%d delivered=%d", n.name, inj, n.Delivered)
+				"%s: drained with injected=%d delivered=%d dropped=%d", n.name, inj, n.Delivered, n.Dropped)
 		}
 		if queuedStates != 0 {
 			a.Violatef(at, -1, "elec/queues",
@@ -160,6 +160,7 @@ func (n *engine) audit(a *check.Auditor, at sim.Time, drained bool) {
 	}{
 		{"injected", n.Injected},
 		{"delivered", n.Delivered},
+		{"dropped", n.Dropped},
 	} {
 		if reg.Index(pair.name) < 0 {
 			continue // telemetry attached to a different network

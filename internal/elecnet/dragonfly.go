@@ -79,6 +79,7 @@ func NewDragonfly(cfg DragonflyConfig) (*Dragonfly, error) {
 		threshold: cfg.UGALThreshold,
 		routing:   cfg.Routing,
 	}
+	net.seed = cfg.Seed
 	base := sim.NewRNG(cfg.Seed ^ 0xd4a90)
 	net.rngs = make([]sim.RNG, g*a)
 	for i := range net.rngs {

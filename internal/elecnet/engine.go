@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"baldur/internal/faults"
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
@@ -84,7 +85,11 @@ func (c *EngineConfig) slotsPerVC() int {
 type NetStats struct {
 	Injected  uint64
 	Delivered uint64
-	MaxHops   int
+	// Dropped counts packets lost to injected faults (dead routers or
+	// ports, degraded links, severed node attachments). The engine is
+	// lossless otherwise, so Dropped is zero in a fault-free run.
+	Dropped uint64
+	MaxHops int
 }
 
 // eshard is one partition of an electrical network: a block of routers and
@@ -139,6 +144,13 @@ func (st *pktState) Run(e *sim.Engine) {
 	if st.eject {
 		p, sh := st.pkt, st.home
 		n.releaseState(st)
+		if n.faulty && n.deadNode.Get(p.Dst) {
+			// The destination's attachment is severed: the last hop's
+			// light dies on the cut link. The ejection port already
+			// returned the input-slot credit, so only the drop counts.
+			n.countDrop(sh, p, e.Now())
+			return
+		}
 		n.deliver(sh, p, e.Now())
 		return
 	}
@@ -324,6 +336,22 @@ type engine struct {
 	// creditSlab is the chunk allocator newCredits carves per-port credit
 	// vectors from, replacing one small heap object per port.
 	creditSlab []int32
+
+	// Fault state (internal/faults): deadRouter is a set over router ids,
+	// deadPort over router*outStride+port, deadNode over node attachments;
+	// degrade is the per-hop drop probability and degradeRNG its lazily
+	// built per-router streams (arrival order per router is shard-count
+	// invariant, so per-router draws are too). faulty caches "any fault
+	// active" so the healthy path pays one predictable branch per site;
+	// seed feeds the degrade streams.
+	faulty     bool
+	deadRouter faults.Bitset
+	deadPort   faults.Bitset
+	deadNode   faults.Bitset
+	degrade    float64
+	degradeRNG []sim.RNG
+	outStride  int
+	seed       uint64
 
 	// NetStats is the aggregate view (live with one shard; refreshed by
 	// SyncStats — called by Run — otherwise). The embedding promotes
@@ -515,6 +543,7 @@ func (n *engine) SyncStats() {
 	for _, sh := range n.shards {
 		agg.Injected += sh.stats.Injected
 		agg.Delivered += sh.stats.Delivered
+		agg.Dropped += sh.stats.Dropped
 		if sh.stats.MaxHops > agg.MaxHops {
 			agg.MaxHops = sh.stats.MaxHops
 		}
@@ -596,6 +625,13 @@ func (n *engine) serviceNIC(nic *enic) {
 	nic.scheduled = false
 	for nic.queue.len() > 0 {
 		now := nic.eng.Now()
+		if n.faulty && n.deadNode.Get(int(nic.id)) {
+			// The node's attachment is severed: everything queued at the
+			// source dies on the cut link without consuming credits.
+			st := nic.queue.pop()
+			n.dropState(nic.sh, st, now)
+			continue
+		}
 		if nic.busyUntil > now {
 			nic.scheduled = true
 			nic.eng.ScheduleKey(nic.busyUntil, nic.act.Next(), nic)
@@ -636,6 +672,9 @@ func (n *engine) serviceNIC(nic *enic) {
 // an output queue.
 func (n *engine) arrive(rid int32, in int16, st *pktState) {
 	r := &n.routers[rid]
+	if n.faulty && n.faultAtArrival(r, st) {
+		return
+	}
 	st.hop++
 	if st.hop > r.sh.stats.MaxHops {
 		r.sh.stats.MaxHops = st.hop
@@ -644,6 +683,12 @@ func (n *engine) arrive(rid int32, in int16, st *pktState) {
 		tp.hops.Inc()
 	}
 	out := n.route(n, r, st)
+	if n.faulty && n.deadPort.Get(int(rid)*n.outStride+out) {
+		// The routed output link is severed: the router discards the
+		// packet (no alternative-port retry in this engine).
+		n.dropFaulty(r, st, r.eng.Now())
+		return
+	}
 	port := &r.out[out]
 	if port.queues == nil {
 		port.queues = make([]fifo, n.cfg.VirtualChannels)
@@ -817,6 +862,7 @@ func (n *engine) connectNIC(node int32, b int32, bp int, delay sim.Duration) {
 // network, so the slabs are rectangular). One allocation per array replaces
 // two slice allocations per router.
 func (n *engine) initRouters(count, outPorts, inPorts int) {
+	n.outStride = outPorts
 	n.routers = make([]router, count)
 	outSlab := make([]outPort, count*outPorts)
 	inSlab := make([]inPort, count*inPorts)

@@ -47,6 +47,7 @@ func NewMultiButterfly(cfg MBConfig) (*MultiButterfly, error) {
 		engine: newEngine(cfg.Engine, "multibutterfly", 3),
 		mb:     wiring,
 	}
+	net.seed = cfg.Seed
 	m := cfg.Multiplicity
 	sw := wiring.SwitchesPerStage()
 	stages := wiring.Stages

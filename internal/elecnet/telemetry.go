@@ -10,6 +10,7 @@ import (
 type elecProbe struct {
 	injected  telemetry.Count
 	delivered telemetry.Count
+	dropped   telemetry.Count
 	hops      telemetry.Count
 	blocks    telemetry.Count
 	ring      *telemetry.Ring
@@ -23,6 +24,7 @@ func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
 	reg := tel.Reg
 	injected := reg.Counter("injected")
 	delivered := reg.Counter("delivered")
+	dropped := reg.Counter("dropped")
 	hops := reg.Counter("hops")
 	blocks := reg.Counter("blocks")
 	srcQueued := reg.Gauge("src_queued")
@@ -34,6 +36,7 @@ func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
 		sh.tp = &elecProbe{
 			injected:  reg.Count(injected, i),
 			delivered: reg.Count(delivered, i),
+			dropped:   reg.Count(dropped, i),
 			hops:      reg.Count(hops, i),
 			blocks:    reg.Count(blocks, i),
 			ring:      tel.Ring(i),
@@ -67,13 +70,14 @@ func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
 		}
 		gSrc.Set(src)
 		gNet.Set(queued)
-		// In flight = injected but not yet delivered (lossless network).
-		var inj, del uint64
+		// In flight = injected but neither delivered nor faulted away.
+		var inj, del, drop uint64
 		for _, sh := range n.shards {
 			inj += sh.stats.Injected
 			del += sh.stats.Delivered
+			drop += sh.stats.Dropped
 		}
-		gFlight.Set(inj - del)
+		gFlight.Set(inj - del - drop)
 		gBusy.Set(busy)
 		gTotal.Set(total)
 	})

@@ -1,0 +1,63 @@
+package faults
+
+// Bitset is a minimal grow-on-set bitset the fault targets use to mark dead
+// switches, links and nodes. The zero value is empty and allocation-free:
+// a network that never sees a fault never allocates, and Get on an empty
+// set is a bounds check plus a load.
+type Bitset struct {
+	bits []uint64
+	n    int
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	w := i >> 6
+	return w < len(b.bits) && b.bits[w]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i, growing the backing array as needed, and reports whether
+// the bit was newly set.
+func (b *Bitset) Set(i int) bool {
+	w := i >> 6
+	if w >= len(b.bits) {
+		grown := make([]uint64, w+1)
+		copy(grown, b.bits)
+		b.bits = grown
+	}
+	mask := uint64(1) << uint(i&63)
+	if b.bits[w]&mask != 0 {
+		return false
+	}
+	b.bits[w] |= mask
+	b.n++
+	return true
+}
+
+// Clear clears bit i and reports whether it was set.
+func (b *Bitset) Clear(i int) bool {
+	w := i >> 6
+	if w >= len(b.bits) {
+		return false
+	}
+	mask := uint64(1) << uint(i&63)
+	if b.bits[w]&mask == 0 {
+		return false
+	}
+	b.bits[w] &^= mask
+	b.n--
+	return true
+}
+
+// Reset clears every bit, keeping the backing array.
+func (b *Bitset) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.n = 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int { return b.n }
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool { return b.n > 0 }

@@ -20,6 +20,7 @@ const (
 	KindDeliver                      // last bit reached the destination
 	KindRetransmit                   // retransmission timer fired
 	KindLevel                        // gatesim: wire level transition (Aux = 0/1)
+	KindFault                        // fault-script event applied (Aux = faults.Action)
 )
 
 // String returns the kind's short name (used by the CSV exporter and the
@@ -42,6 +43,8 @@ func (k RecordKind) String() string {
 		return "retransmit"
 	case KindLevel:
 		return "level"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }
