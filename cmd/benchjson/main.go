@@ -86,6 +86,17 @@ const datacenterBytesPerNodeCeil = 8192.0
 // gate.
 const faultsExtraAllocsCeil = 8.0
 
+// traceExtraAllocsCeil is the absolute ceiling on extra allocations per run
+// for the lifecycle tracer (the trace_overhead entry's extra_allocs_op
+// metric): a telemetry-attached cell tracing 1 in 2 packets versus the same
+// cell with span capture off. Spans land in the preallocated flight-recorder
+// rings, so even the enabled path must allocate nothing per span — which
+// bounds the disabled path (one predictable branch per lifecycle site) a
+// fortiori. The slack covers runtime-internal allocations landing inside the
+// measurement window; a real leak in the per-packet trace sites would show
+// up as hundreds per op.
+const traceExtraAllocsCeil = 8.0
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
 	check := flag.String("check", "", "baseline JSON to diff against; exits 1 if an engine microbenchmark regresses by >15% ns/op")
@@ -101,6 +112,7 @@ func main() {
 		{"baldur_simulator", benchBaldurSimulator},
 		{"baldur_simulator_sharded", benchBaldurSimulatorSharded},
 		{"telemetry_overhead", benchTelemetryOverhead},
+		{"trace_overhead", benchTraceOverhead},
 		{"faults_overhead", benchFaultsOverhead},
 		{"twin_speedup", benchTwinSpeedup},
 		// Last on purpose: peak RSS is a process-lifetime high-water mark,
@@ -197,15 +209,19 @@ func compare(base, fresh report, w io.Writer) bool {
 				r.Name, bpn, datacenterBytesPerNodeCeil, verdict)
 			continue
 		}
-		if r.Name == "faults_overhead" {
+		if r.Name == "faults_overhead" || r.Name == "trace_overhead" {
+			ceil := faultsExtraAllocsCeil
+			if r.Name == "trace_overhead" {
+				ceil = traceExtraAllocsCeil
+			}
 			extra := r.Extra["extra_allocs_op"]
 			verdict := "ok"
-			if extra > faultsExtraAllocsCeil {
+			if extra > ceil {
 				verdict = "REGRESSION"
 				ok = false
 			}
 			fmt.Fprintf(w, "check %-36s %8.1f extra allocs/op (ceiling %.0f) %s\n",
-				r.Name, extra, faultsExtraAllocsCeil, verdict)
+				r.Name, extra, ceil, verdict)
 			continue
 		}
 		if r.Name == "twin_speedup" {
@@ -381,6 +397,36 @@ func benchTelemetryOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalSamples)/float64(b.N), "samples/run")
 	b.ReportMetric(float64(totalRecords)/float64(b.N), "records/run")
+}
+
+// benchTraceOverhead prices the packet-lifecycle tracer the way
+// benchFaultsOverhead prices the fault layer: the same telemetry-attached
+// baldur cell runs b.N times with span capture off and b.N times tracing
+// 1 in 2 packets, and the allocation difference per run is reported as
+// extra_allocs_op. Both sides preallocate identical flight-recorder rings,
+// so the differential isolates the per-packet trace sites; spans are written
+// in place into the rings and must not allocate even when sampled. -check
+// gates extra_allocs_op against the absolute traceExtraAllocsCeil (no
+// baseline needed), pinning the acceptance claim that a trace-capable build
+// costs untraced runs nothing on the allocation side.
+func benchTraceOverhead(b *testing.B) {
+	measure := func(every int) float64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			sc := benchScale()
+			sc.Telemetry = &telemetry.Options{FlightRecords: 1 << 17, TraceSample: every}
+			if _, _, err := exp.RunOpenLoopTelemetry("baldur", "random_permutation", 0.7, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	}
+	off := measure(0)
+	on := measure(2)
+	b.ReportMetric(on-off, "extra_allocs_op")
+	b.ReportMetric(off, "untraced_allocs_op")
 }
 
 // benchFaultsOverhead prices the fault-injection layer's disabled path: the

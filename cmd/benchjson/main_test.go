@@ -94,6 +94,31 @@ func TestCompareFaultsOverheadRegression(t *testing.T) {
 	}
 }
 
+func TestCompareTraceOverheadGate(t *testing.T) {
+	// trace_overhead is gated absolutely on the fresh run, like
+	// faults_overhead: spans land in preallocated rings, so tracing may cost
+	// at most measurement-window slack on the allocation side.
+	fresh := rep(result{Name: "trace_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 1}})
+	var out strings.Builder
+	if !compare(rep(), fresh, &out) {
+		t.Errorf("1 extra alloc/op failed the %.0f-alloc gate:\n%s", traceExtraAllocsCeil, out.String())
+	}
+	if !strings.Contains(out.String(), "trace_overhead") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("no ok verdict printed:\n%s", out.String())
+	}
+
+	leak := rep(result{Name: "trace_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 960}})
+	out.Reset()
+	if compare(rep(), leak, &out) {
+		t.Error("a per-span allocation passed the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict printed:\n%s", out.String())
+	}
+}
+
 func TestCompareUnusableBaselineEntry(t *testing.T) {
 	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 0})
 	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})

@@ -25,6 +25,8 @@ func main() {
 	specPath := flag.String("spec", "", "path to the campaign spec JSON (required)")
 	csvPath := flag.String("csv", "", "write the per-cell report CSV to this path (\"-\" for stdout)")
 	aggPath := flag.String("agg-csv", "", "write the across-seed aggregate CSV to this path (\"-\" for stdout)")
+	traceDir := flag.String("trace-dir", "", "write one Perfetto trace per cell into this directory (overrides the spec's trace_dir)")
+	traceSample := flag.Int("trace-sample", 0, "capture lifecycle span chains for 1 in N packets per cell (overrides the spec's trace_sample)")
 	quiet := flag.Bool("q", false, "suppress the rendered table")
 	flag.Parse()
 
@@ -40,6 +42,12 @@ func main() {
 	spec, err := exp.ParseCampaign(data)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceDir != "" {
+		spec.TraceDir = *traceDir
+	}
+	if *traceSample > 0 {
+		spec.TraceSample = *traceSample
 	}
 	rep, err := exp.RunCampaign(spec)
 	if err != nil {

@@ -1,0 +1,219 @@
+// Command tracequery analyzes packet-lifecycle trace exports offline: the
+// phase-by-phase latency breakdown, per-cell critical-path summaries, and
+// the slowest traced packets with their full span chains.
+//
+// Input is the flight-recorder CSV export (baldursim -trace-sample N
+// -trace-out trace.csv, or any telemetry TraceOut ending in .csv). Several
+// files compare side by side, one cell per file:
+//
+//	tracequery trace-baldur.csv trace-dragonfly.csv
+//	tracequery -top 10 trace.csv
+//	tracequery -audit trace.csv   # exit 1 unless span sums equal latencies
+//
+// -audit re-verifies the attribution invariant offline, from the export
+// alone: every complete chain's pre-delivery spans must tile its
+// [inject, deliver) window exactly, so their durations sum to the packet's
+// end-to-end latency. Drift means the export (or the tracer) is broken.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"baldur/internal/sim"
+	"baldur/internal/telemetry"
+)
+
+type cell struct {
+	name    string
+	records int
+	chains  []telemetry.Chain
+}
+
+func main() {
+	top := flag.Int("top", 0, "also list the N slowest traced packets with their span chains")
+	audit := flag.Bool("audit", false, "verify span sums equal end-to-end latencies; exit 1 on drift")
+	csvOut := flag.Bool("csv", false, "emit the phase breakdown as CSV instead of a table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracequery: no input files (expected flight CSV exports)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var cells []cell
+	for _, path := range flag.Args() {
+		if strings.HasSuffix(path, ".json") {
+			fatal(fmt.Errorf("%s: tracequery reads flight CSV exports (use -trace-out trace.csv); .json exports are Perfetto traces — load them at ui.perfetto.dev", path))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := telemetry.ParseFlightCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		cells = append(cells, cell{name: name, records: len(recs), chains: telemetry.AssembleChains(recs)})
+	}
+
+	if *csvOut {
+		writeCSV(cells)
+	} else {
+		writeReport(cells, *top)
+	}
+	if *audit {
+		os.Exit(runAudit(cells))
+	}
+}
+
+// writeReport prints each cell's summary, phase breakdown and critical path.
+func writeReport(cells []cell, top int) {
+	for i := range cells {
+		c := &cells[i]
+		complete, excluded := 0, 0
+		for j := range c.chains {
+			if c.chains[j].Complete() {
+				complete++
+			}
+			excluded += c.chains[j].Excluded
+		}
+		fmt.Printf("cell %s: %d records, %d traced chains (%d complete), %d late-retx spans excluded\n",
+			c.name, c.records, len(c.chains), complete, excluded)
+		rows, total := telemetry.Breakdown(c.chains)
+		if total == 0 {
+			fmt.Println("  no complete chains to attribute")
+			continue
+		}
+		table := [][]string{{"phase", "spans", "total_ns", "share", "max_ns"}}
+		var critical telemetry.PhaseStat
+		for _, r := range rows {
+			if r.Total > critical.Total {
+				critical = r
+			}
+			table = append(table, []string{
+				r.Phase.String(), fmt.Sprint(r.Spans),
+				ns(r.Total), share(r.Total, total), ns(r.Max),
+			})
+		}
+		table = append(table, []string{"total", "", ns(total), "100.0%", ""})
+		printTable(table)
+		fmt.Printf("  critical path: %s (%s of attributed latency)\n\n",
+			critical.Phase, share(critical.Total, total))
+	}
+	if top > 0 {
+		writeTop(cells, top)
+	}
+}
+
+// writeTop lists the slowest complete chains across all cells.
+func writeTop(cells []cell, n int) {
+	type slow struct {
+		cell  string
+		chain *telemetry.Chain
+	}
+	var all []slow
+	for i := range cells {
+		for j := range cells[i].chains {
+			if cells[i].chains[j].Complete() {
+				all = append(all, slow{cells[i].name, &cells[i].chains[j]})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].chain.Latency() > all[j].chain.Latency() })
+	if n > len(all) {
+		n = len(all)
+	}
+	fmt.Printf("top %d slowest traced packets:\n", n)
+	for _, s := range all[:n] {
+		c := s.chain
+		parts := make([]string, 0, len(c.Spans))
+		for _, sp := range c.Spans {
+			parts = append(parts, fmt.Sprintf("%s %s", sp.Phase, ns(sp.Dur)))
+		}
+		fmt.Printf("  pkt %d src %d dst %d latency %sns [%s]\n    %s\n",
+			c.Pkt, c.Src, c.Dst, ns(c.Latency()), s.cell, strings.Join(parts, " -> "))
+	}
+}
+
+// writeCSV emits one breakdown row per (cell, phase).
+func writeCSV(cells []cell) {
+	fmt.Println("cell,phase,spans,total_ps,share,max_ps")
+	for i := range cells {
+		rows, total := telemetry.Breakdown(cells[i].chains)
+		for _, r := range rows {
+			fmt.Printf("%s,%s,%d,%d,%s,%d\n",
+				cells[i].name, r.Phase, r.Spans, int64(r.Total), share(r.Total, total), int64(r.Max))
+		}
+	}
+}
+
+// runAudit re-checks the attribution invariant on every complete chain and
+// returns the process exit code.
+func runAudit(cells []cell) int {
+	verified, drift := 0, 0
+	for i := range cells {
+		c := &cells[i]
+		for j := range c.chains {
+			ch := &c.chains[j]
+			if !ch.Complete() {
+				continue
+			}
+			verified++
+			if msg := ch.CheckTiling(); msg != "" {
+				fmt.Fprintf(os.Stderr, "tracequery: AUDIT DRIFT cell %s pkt %d: %s\n", c.name, ch.Pkt, msg)
+				drift++
+			} else if ch.SpanSum() != ch.Latency() {
+				fmt.Fprintf(os.Stderr, "tracequery: AUDIT DRIFT cell %s pkt %d: span sum %d != latency %d\n",
+					c.name, ch.Pkt, int64(ch.SpanSum()), int64(ch.Latency()))
+				drift++
+			}
+		}
+	}
+	if verified == 0 {
+		fmt.Fprintln(os.Stderr, "tracequery: audit vacuous — no complete chains (was the run traced with -trace-sample?)")
+		return 1
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "tracequery: audit FAILED: %d of %d chains drifted\n", drift, verified)
+		return 1
+	}
+	fmt.Printf("audit: %d chains verified, span sums match latencies exactly\n", verified)
+	return 0
+}
+
+func ns(d sim.Duration) string { return fmt.Sprintf("%.1f", float64(d)/1e3) }
+
+func share(part, total sim.Duration) string {
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+// printTable renders rows (first row is the header) with aligned columns.
+func printTable(rows [][]string) {
+	width := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var sb strings.Builder
+		sb.WriteString(" ")
+		for i, cell := range row {
+			sb.WriteString(fmt.Sprintf(" %-*s", width[i], cell))
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracequery:", err)
+	os.Exit(1)
+}

@@ -203,6 +203,13 @@ type Network struct {
 	duration  sim.Duration // data packet wire occupancy
 	ackDur    sim.Duration
 	rto       sim.Duration
+	// flight is the fixed transmit-start→delivery time of a successful
+	// data attempt: serialization + both host fibers + every stage's
+	// switch latency and inter-stage fiber. Baldur's fabric is bufferless,
+	// so every delivered packet spends exactly this long in flight; the
+	// lifecycle tracer uses it to reconstruct the delivered attempt's
+	// per-stage spans at the destination without touching sender state.
+	flight sim.Duration
 
 	// dbgDrop, when non-nil, observes every drop (testing hook; fabric
 	// shard only).
@@ -236,6 +243,8 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, mb: mb}
 	n.duration, n.ackDur, n.gap, n.rto = deriveTiming(cfg, mb)
+	perStage := cfg.SwitchLatency + cfg.InterStageDelay
+	n.flight = n.duration + 2*cfg.LinkDelay + sim.Duration(mb.Stages)*perStage
 	// One slot per (stage, wire, lambda channel).
 	n.busyStride = mb.SwitchesPerStage() * 2 * cfg.Multiplicity * cfg.Wavelengths
 	n.busy = make([]sim.Time, mb.Stages*n.busyStride)
@@ -337,6 +346,10 @@ func (n *Network) Send(src, dst, size int) *netsim.Packet {
 				At: p.Created, Pkt: p.ID, Kind: telemetry.KindInject,
 				Src: int32(src), Dst: int32(dst), Loc: -1,
 			})
+		}
+		if telemetry.Sampled(p.ID, tp.traceEvery) {
+			p.Traced = true
+			p.TraceCursor = p.Created
 		}
 	}
 	nic.enqueueData(p)

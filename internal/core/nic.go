@@ -138,6 +138,7 @@ func (c *nic) pump() {
 	if c.wireFreeAt > start {
 		start = c.wireFreeAt
 	}
+	wireWait := start
 	if p.NotBefore > start {
 		start = p.NotBefore // backoff window (head-of-line by design:
 		// BEB throttles the whole transmitter, Sec IV-E)
@@ -151,6 +152,20 @@ func (c *nic) pump() {
 				})
 			}
 		}
+	}
+	if p.Traced {
+		// Attribute the wait since the last cursor advance: time behind
+		// earlier queued packets (queue), residual occupancy of the
+		// injection wire at pop time (wire_busy), then the BEB window
+		// (backoff). The spans tile [TraceCursor, start) exactly, and the
+		// attempt's transmission starts at start.
+		if tp := c.sh.tp; tp != nil && tp.ring != nil {
+			src, dst, att := int32(p.Src), int32(p.Dst), int32(p.Retries)
+			tp.ring.AddSpan(telemetry.PhaseQueue, p.TraceCursor, now, p.ID, src, dst, -1, att)
+			tp.ring.AddSpan(telemetry.PhaseWireBusy, now, wireWait, p.ID, src, dst, -1, att)
+			tp.ring.AddSpan(telemetry.PhaseBackoff, wireWait, start, p.ID, src, dst, -1, att)
+		}
+		p.TraceCursor = start
 	}
 	c.popFront()
 	c.sending = true
@@ -222,6 +237,13 @@ func (c *nic) timeout(seq uint64, attempt int) {
 				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
 				Aux: int32(p.Retries),
 			})
+			if p.Traced {
+				// The attempt was lost: everything since its transmit
+				// start was spent waiting for this timer.
+				tp.ring.AddSpan(telemetry.PhaseRetxWait, p.TraceCursor, c.eng.Now(),
+					p.ID, int32(p.Src), int32(p.Dst), -1, int32(p.Retries))
+				p.TraceCursor = c.eng.Now()
+			}
 		}
 	}
 	if !n.cfg.DisableBEB {
@@ -250,6 +272,14 @@ func (c *nic) receive(p *netsim.Packet, at sim.Time) {
 					At: at, Pkt: data.ID, Kind: telemetry.KindAck,
 					Src: int32(data.Src), Dst: int32(data.Dst), Loc: -1,
 				})
+				if data.Traced {
+					// Post-delivery phase: the receiver stamped the
+					// ACK's Created with the data arrival time, so
+					// [Created, at) is the ACK's return trip. Excluded
+					// from the latency-sum invariant by construction.
+					tp.ring.AddSpan(telemetry.PhaseAck, p.Created, at,
+						data.ID, int32(data.Src), int32(data.Dst), -1, 0)
+				}
 			}
 			lat := float64(at.Sub(data.Created).Nanoseconds())
 			c.ackLat.Add(lat)
@@ -300,11 +330,37 @@ func (c *nic) deliverUnique(p *netsim.Packet, at sim.Time) {
 				At: at, Pkt: p.ID, Kind: telemetry.KindDeliver,
 				Src: int32(p.Src), Dst: int32(p.Dst), Loc: -1,
 			})
+			if p.Traced {
+				c.traceFlight(tp.ring, p, at)
+			}
 		}
 	}
 	for _, fn := range n.onDeliver {
 		fn(p, at)
 	}
+}
+
+// traceFlight reconstructs the delivered attempt's flight spans at the
+// destination. The fabric is bufferless, so a successful attempt's timing is
+// fully determined by constants: it started serializing exactly net.flight
+// before delivery, and the head then moved one fiber/stage at a time. This
+// runs on the destination shard but reads only immutable packet fields and
+// network constants — the source shard still owns the mutable packet state
+// (cursor, retry bookkeeping), which is why the attempt is reconstructed
+// rather than carried on the packet.
+func (c *nic) traceFlight(ring *telemetry.Ring, p *netsim.Packet, at sim.Time) {
+	n := c.net
+	src, dst := int32(p.Src), int32(p.Dst)
+	perStage := n.cfg.SwitchLatency + n.cfg.InterStageDelay
+	t := at.Add(-n.flight)
+	ring.AddSpan(telemetry.PhaseLink, t, t.Add(n.cfg.LinkDelay), p.ID, src, dst, -1, 0)
+	t = t.Add(n.cfg.LinkDelay)
+	for s := 0; s < n.mb.Stages; s++ {
+		ring.AddSpan(telemetry.PhaseHop, t, t.Add(perStage), p.ID, src, dst, int32(s), 0)
+		t = t.Add(perStage)
+	}
+	ring.AddSpan(telemetry.PhaseLink, t, t.Add(n.cfg.LinkDelay), p.ID, src, dst, -1, 1)
+	ring.AddSpan(telemetry.PhaseWire, at.Add(-n.duration), at, p.ID, src, dst, -1, 0)
 }
 
 // seqTracker deduplicates per-source sequence numbers with O(1) memory for

@@ -20,6 +20,9 @@ type coreProbe struct {
 	hops            telemetry.Count
 	blocks          telemetry.Count
 	ring            *telemetry.Ring
+	// traceEvery is the resolved 1-in-N lifecycle-trace sampling rate
+	// (0: span capture off). Nonzero only when ring is non-nil.
+	traceEvery int
 }
 
 // AttachTelemetry registers Baldur's metrics and resolves per-shard probes
@@ -66,6 +69,7 @@ func (n *Network) AttachTelemetry(tel *telemetry.Telemetry) {
 			hops:            reg.Count(ids.hops, i),
 			blocks:          reg.Count(ids.blocks, i),
 			ring:            tel.Ring(i),
+			traceEvery:      tel.TraceEvery(),
 		}
 	}
 	// Gauge refresh runs at sample barriers only — shard goroutines are

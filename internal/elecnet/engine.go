@@ -579,6 +579,10 @@ func (n *engine) Send(src, dst, size int) *netsim.Packet {
 				Src: int32(src), Dst: int32(dst), Loc: -1,
 			})
 		}
+		if telemetry.Sampled(p.ID, tp.traceEvery) {
+			p.Traced = true
+			p.TraceCursor = p.Created
+		}
 	}
 	st := n.acquireState(nic.sh, p)
 	nic.queue.push(st)
@@ -656,6 +660,16 @@ func (n *engine) serviceNIC(nic *enic) {
 		nic.credits[vc]--
 		dur := n.ser(st.pkt.Size)
 		nic.busyUntil = now.Add(dur)
+		if p := st.pkt; p.Traced {
+			// Source-queue wait ends here; the head hits the wire now.
+			// Serialization overlaps the cut-through pipeline and is
+			// attributed once, at the ejection port.
+			if tp := nic.sh.tp; tp != nil && tp.ring != nil {
+				tp.ring.AddSpan(telemetry.PhaseQueue, p.TraceCursor, now,
+					p.ID, int32(p.Src), int32(p.Dst), -1, int32(vc))
+			}
+			p.TraceCursor = now
+		}
 		st.holdRouter = nic.edge
 		st.holdIn = nic.edgeIn
 		edge := &n.routers[nic.edge]
@@ -681,6 +695,15 @@ func (n *engine) arrive(rid int32, in int16, st *pktState) {
 	}
 	if tp := r.sh.tp; tp != nil {
 		tp.hops.Inc()
+	}
+	if p := st.pkt; p.Traced {
+		// Head propagation from the previous pop point: upstream link
+		// plus this router's pipeline latency.
+		if tp := r.sh.tp; tp != nil && tp.ring != nil {
+			tp.ring.AddSpan(telemetry.PhaseHop, p.TraceCursor, r.eng.Now(),
+				p.ID, int32(p.Src), int32(p.Dst), rid, int32(st.hop))
+		}
+		p.TraceCursor = r.eng.Now()
 	}
 	out := n.route(n, r, st)
 	if n.faulty && n.deadPort.Get(int(rid)*n.outStride+out) {
@@ -755,6 +778,15 @@ func (n *engine) servicePort(r *router, out int) {
 				Loc: r.id, Aux: int32(vc),
 			})
 		}
+		if p := st.pkt; p.Traced {
+			// Output-queue/credit stall since the head arrived (or since
+			// the previous service attempt advanced the cursor).
+			if tp := r.sh.tp; tp != nil && tp.ring != nil {
+				tp.ring.AddSpan(telemetry.PhaseStall, p.TraceCursor, now,
+					p.ID, int32(p.Src), int32(p.Dst), r.id, int32(vc))
+			}
+			p.TraceCursor = now
+		}
 
 		// Free the input slot we held on this router once the tail
 		// leaves; the credit travels back over the reverse link.
@@ -763,6 +795,18 @@ func (n *engine) servicePort(r *router, out int) {
 		}
 
 		if isEject {
+			if p := st.pkt; p.Traced {
+				// Final hop: serialization (counted exactly once per
+				// packet, here) then the ejection fiber; delivery fires
+				// at the link span's end.
+				if tp := r.sh.tp; tp != nil && tp.ring != nil {
+					tp.ring.AddSpan(telemetry.PhaseWire, now, port.busyUntil,
+						p.ID, int32(p.Src), int32(p.Dst), r.id, int32(vc))
+					tp.ring.AddSpan(telemetry.PhaseLink, port.busyUntil, port.busyUntil.Add(port.linkDelay),
+						p.ID, int32(p.Src), int32(p.Dst), -1, 0)
+				}
+				p.TraceCursor = port.busyUntil.Add(port.linkDelay)
+			}
 			st.eject = true
 			dst := &n.nics[port.node]
 			st.home = dst.sh

@@ -14,6 +14,9 @@ type elecProbe struct {
 	hops      telemetry.Count
 	blocks    telemetry.Count
 	ring      *telemetry.Ring
+	// traceEvery is the resolved 1-in-N lifecycle-trace sampling rate
+	// (0: span capture off). Nonzero only when ring is non-nil.
+	traceEvery int
 }
 
 // AttachTelemetry registers the electrical networks' metrics and resolves
@@ -34,12 +37,13 @@ func (n *engine) AttachTelemetry(tel *telemetry.Telemetry) {
 	portsTotal := reg.Gauge("ports_total")
 	for i, sh := range n.shards {
 		sh.tp = &elecProbe{
-			injected:  reg.Count(injected, i),
-			delivered: reg.Count(delivered, i),
-			dropped:   reg.Count(dropped, i),
-			hops:      reg.Count(hops, i),
-			blocks:    reg.Count(blocks, i),
-			ring:      tel.Ring(i),
+			injected:   reg.Count(injected, i),
+			delivered:  reg.Count(delivered, i),
+			dropped:    reg.Count(dropped, i),
+			hops:       reg.Count(hops, i),
+			blocks:     reg.Count(blocks, i),
+			ring:       tel.Ring(i),
+			traceEvery: tel.TraceEvery(),
 		}
 	}
 	// Gauge refresh runs at sample barriers only — shard goroutines are

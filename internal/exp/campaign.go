@@ -3,12 +3,16 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"baldur/internal/check"
 	"baldur/internal/check/harness"
 	"baldur/internal/faults"
 	"baldur/internal/netsim"
 	"baldur/internal/sim"
+	"baldur/internal/telemetry"
 	"baldur/internal/traffic"
 )
 
@@ -47,6 +51,21 @@ type CampaignSpec struct {
 	// MaxAttempts caps baldur's per-packet attempts so cells with dead
 	// switches or severed links drain instead of retransmitting forever.
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// TraceDir, when set, writes one Perfetto trace per cell into the
+	// directory (file name: the cell id with "/" → "-", plus ".json"). The
+	// trace carries the cell's flight records, the script's fault events as
+	// instant markers, and every measured unavailability window as a shaded
+	// region on a dedicated availability track.
+	TraceDir string `json:"trace_dir,omitempty"`
+	// TraceSample additionally captures full lifecycle span chains for 1 in
+	// N packets (telemetry.Options.TraceSample). With Audit set, the chains
+	// of every witnessed traced delivery are verified against the stats
+	// latency (span sums must match exactly); drift fails the campaign.
+	TraceSample int `json:"trace_sample,omitempty"`
+	// FlightRecords sizes each shard's flight-recorder ring when tracing is
+	// enabled (default 1<<17). Undersized rings drop the oldest records —
+	// visible in the trace_dropped_records counter and a WARN line.
+	FlightRecords int `json:"flight_records,omitempty"`
 }
 
 // ParseCampaign decodes a campaign spec from JSON.
@@ -174,6 +193,19 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 	if err != nil {
 		return res, err
 	}
+	var tel *telemetry.Telemetry
+	if spec.TraceDir != "" || spec.TraceSample > 0 {
+		fr := spec.FlightRecords
+		if fr == 0 {
+			fr = 1 << 17
+		}
+		tel = telemetry.New(telemetry.Options{
+			FlightRecords: fr,
+			TraceSample:   spec.TraceSample,
+			Label:         res.id(),
+		}, netsim.NumShards(net))
+		net.(netsim.Instrumented).AttachTelemetry(tel)
+	}
 	var col netsim.Collector
 	col.Attach(net)
 	ol := traffic.OpenLoop{
@@ -188,13 +220,19 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 		aud = check.New(check.Options{})
 		net.(netsim.Audited).AttachAudit(aud)
 	}
+	var spanAud *check.SpanAudit
+	if aud != nil && tel != nil && tel.TraceEvery() > 0 {
+		spanAud = netsim.AttachSpanAudit(net)
+	}
 	ctrl := faults.NewController(compiled)
+	var regions []telemetry.Region
 	var prevDelivered uint64
 	var prevAt sim.Time
 	inWindow := false
 	more, err := faults.Run(net, ctrl, faults.RunOptions{
 		Deadline: sim.Time(0).Add(sim.Microseconds(spec.HorizonUS)),
 		Interval: sim.Microseconds(spec.SliceUS),
+		Tel:      tel,
 		Aud:      aud,
 		Observe: func(at sim.Time, drained bool) {
 			fp := read()
@@ -204,6 +242,9 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 				if !inWindow {
 					res.UnavailWindows++
 					inWindow = true
+					regions = append(regions, telemetry.Region{Name: "unavailable", From: prevAt, To: at})
+				} else {
+					regions[len(regions)-1].To = at
 				}
 			} else {
 				inWindow = false
@@ -213,6 +254,14 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 	})
 	if err != nil {
 		return res, err
+	}
+	if spanAud != nil {
+		spanAud.VerifyInto(aud, tel.Rec.Records(), tel.Rec.Overwritten() > 0)
+	}
+	if tel != nil && spec.TraceDir != "" {
+		if err := writeCellTrace(spec.TraceDir, &res, tel, regions); err != nil {
+			return res, err
+		}
 	}
 	fp := read()
 	res.fp = fp
@@ -236,6 +285,30 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 		res.Violations = aud.Violations()
 	}
 	return res, nil
+}
+
+// writeCellTrace exports one campaign cell's Perfetto trace: flight records
+// (span chains, fault instants) plus the cell's unavailability windows as
+// shaded regions. File names flatten the cell id so a whole campaign can
+// share one directory.
+func writeCellTrace(dir string, res *CellResult, tel *telemetry.Telemetry, regions []telemetry.Region) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if n := tel.Rec.Overwritten(); n > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: WARN cell %s: flight recorder wrapped, %d oldest records dropped — trace is incomplete (raise flight_records)\n",
+			res.id(), n)
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(res.id(), "/", "-")+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTraceRegions(f, tel.Rec.Records(), regions, 1, res.id()); err != nil {
+		f.Close()
+		return fmt.Errorf("exp: cell trace export: %w", err)
+	}
+	return f.Close()
 }
 
 // CampaignReport is a finished campaign: every cell (baselines first within

@@ -368,7 +368,14 @@ func runOpenLoopCell(col *netsim.Collector, network, pattern string, load float6
 	}
 	ol.Start(inst.net)
 	aud := attachAudit(inst.net, sc)
+	var spans *check.SpanAudit
+	if aud != nil && tel != nil && tel.TraceEvery() > 0 {
+		spans = netsim.AttachSpanAudit(inst.net)
+	}
 	more := netsim.RunChecked(inst.net, sc.maxSim(), tel, aud)
+	if spans != nil {
+		spans.VerifyInto(aud, tel.Rec.Records(), tel.Rec.Overwritten() > 0)
+	}
 	if err := auditErr(aud, network, pattern); err != nil {
 		return Point{}, nil, nil, err
 	}

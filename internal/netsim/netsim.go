@@ -41,6 +41,14 @@ type Packet struct {
 	// Acked marks packets whose ACK arrived while they were still queued
 	// for retransmission; the NIC discards them instead of sending.
 	Acked bool
+	// Traced marks packets selected by the deterministic lifecycle-trace
+	// sampler (telemetry.Sampled on the packet id). Only the shard that
+	// owns the packet may read or write TraceCursor.
+	Traced bool
+	// TraceCursor is the start of the traced packet's current lifecycle
+	// phase; networks advance it as they emit spans so that consecutive
+	// spans tile the packet's life with no gaps or overlaps.
+	TraceCursor sim.Time
 }
 
 // Reset clears p for reuse. Networks that recycle packets whose lifetime
@@ -363,4 +371,25 @@ func (c *Collector) Merged() *stats.Histogram {
 		c.merged.Merge(&c.shards[i].hist)
 	}
 	return &c.merged
+}
+
+// AttachSpanAudit builds a check.SpanAudit and subscribes it to n's
+// deliveries: every traced delivery is witnessed on the destination node's
+// shard with exactly the (Created, at) pair the Collector derives latency
+// from, which is what the span-attribution invariant is checked against.
+// Attach before the run starts; call Verify/VerifyInto after it drains.
+func AttachSpanAudit(n Network) *check.SpanAudit {
+	a := check.NewSpanAudit(NumShards(n))
+	nodes := n.NumNodes()
+	nodeShard := make([]int32, nodes)
+	for i := 0; i < nodes; i++ {
+		nodeShard[i] = int32(NodeShard(n, i))
+	}
+	n.OnDeliver(func(p *Packet, at sim.Time) {
+		if !p.Traced {
+			return
+		}
+		a.Observe(int(nodeShard[p.Dst]), p.ID, p.Created, at)
+	})
+	return a
 }

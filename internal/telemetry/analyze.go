@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"baldur/internal/sim"
+)
+
+// Span is one phase of a traced packet's life, extracted from a KindSpan
+// record.
+type Span struct {
+	Phase Phase
+	At    sim.Time
+	Dur   sim.Duration
+	Loc   int32
+	Aux   int32
+}
+
+// End returns the span's exclusive end time.
+func (s Span) End() sim.Time { return s.At.Add(s.Dur) }
+
+// Chain is the assembled lifecycle of one traced packet. Spans holds the
+// pre-delivery chain — the sender-side waits of attempts that preceded the
+// delivered one, then the delivered attempt's flight — sorted by time; for a
+// delivered packet with a complete trace it tiles [Injected, Delivered)
+// exactly. Post holds post-delivery spans (ACK return), excluded from the
+// latency sum. Excluded counts sender spans of late retransmissions: the
+// delivered attempt was already in flight, so their time is not part of the
+// delivery latency.
+type Chain struct {
+	Pkt      uint64
+	Src, Dst int32
+
+	HasInject bool
+	Injected  sim.Time
+	Delivered bool
+	DeliverAt sim.Time
+
+	Spans    []Span
+	Post     []Span
+	Excluded int
+}
+
+// SpanSum returns the total duration of the pre-delivery spans.
+func (c *Chain) SpanSum() sim.Duration {
+	var sum sim.Duration
+	for _, s := range c.Spans {
+		sum += s.Dur
+	}
+	return sum
+}
+
+// Latency returns the packet's end-to-end latency as witnessed by the
+// inject/deliver records (valid when HasInject && Delivered).
+func (c *Chain) Latency() sim.Duration { return c.DeliverAt.Sub(c.Injected) }
+
+// Complete reports whether the chain can be audited: the packet was
+// delivered and its inject record survived in the ring window.
+func (c *Chain) Complete() bool { return c.HasInject && c.Delivered }
+
+// CheckTiling verifies the attribution invariant on a complete chain: the
+// pre-delivery spans must tile [Injected, DeliverAt) contiguously — no gap,
+// no overlap — which forces their durations to sum exactly to the
+// end-to-end latency. It returns a description of the first defect, or ""
+// when the chain is exact.
+func (c *Chain) CheckTiling() string {
+	if !c.Complete() {
+		return "incomplete chain (missing inject or deliver record)"
+	}
+	if len(c.Spans) == 0 {
+		return "no pre-delivery spans"
+	}
+	at := c.Injected
+	for i, s := range c.Spans {
+		if s.At != at {
+			return fmt.Sprintf("span %d (%s) starts at %d, want %d (gap or overlap)",
+				i, s.Phase, int64(s.At), int64(at))
+		}
+		if s.Dur <= 0 {
+			return fmt.Sprintf("span %d (%s) has non-positive duration %d", i, s.Phase, int64(s.Dur))
+		}
+		at = s.End()
+	}
+	if at != c.DeliverAt {
+		return fmt.Sprintf("chain ends at %d, want delivery time %d (sum %d != latency %d)",
+			int64(at), int64(c.DeliverAt), int64(c.SpanSum()), int64(c.Latency()))
+	}
+	return ""
+}
+
+// AssembleChains groups the span/inject/deliver records of every traced
+// packet (any packet with at least one KindSpan record) into Chains, sorted
+// by packet id. recs must already be merged and sorted (FlightRecorder
+// Records output, or a parsed export thereof).
+//
+// The pre-delivery chain is selected by a cut at f0, the start of the
+// earliest flight-phase span: sender-side spans that begin at or after f0
+// belong to retransmission attempts made while the delivered attempt was
+// already in flight (its ACK lost or late) and are counted in Excluded, not
+// in the chain. By construction sender spans never straddle f0, so the cut
+// is exact.
+func AssembleChains(recs []Record) []Chain {
+	idx := map[uint64]int{}
+	var chains []Chain
+	for i := range recs {
+		if recs[i].Kind != KindSpan {
+			continue
+		}
+		if _, ok := idx[recs[i].Pkt]; !ok {
+			idx[recs[i].Pkt] = len(chains)
+			chains = append(chains, Chain{Pkt: recs[i].Pkt, Src: recs[i].Src, Dst: recs[i].Dst})
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		ci, ok := idx[r.Pkt]
+		if !ok {
+			continue
+		}
+		c := &chains[ci]
+		switch r.Kind {
+		case KindInject:
+			c.HasInject = true
+			c.Injected = r.At
+		case KindDeliver:
+			c.Delivered = true
+			c.DeliverAt = r.At
+		case KindSpan:
+			sp := Span{Phase: r.Phase, At: r.At, Dur: r.Dur, Loc: r.Loc, Aux: r.Aux}
+			if r.Phase.Sender() || r.Phase.Flight() {
+				c.Spans = append(c.Spans, sp)
+			} else {
+				c.Post = append(c.Post, sp)
+			}
+		}
+	}
+	for ci := range chains {
+		c := &chains[ci]
+		f0 := sim.Time(1<<63 - 1)
+		for _, s := range c.Spans {
+			if s.Phase.Flight() && s.At < f0 {
+				f0 = s.At
+			}
+		}
+		kept := c.Spans[:0]
+		for _, s := range c.Spans {
+			if s.Phase.Sender() && s.At >= f0 {
+				c.Excluded++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		c.Spans = kept
+		sort.Slice(c.Spans, func(i, j int) bool {
+			if c.Spans[i].At != c.Spans[j].At {
+				return c.Spans[i].At < c.Spans[j].At
+			}
+			return c.Spans[i].End() < c.Spans[j].End()
+		})
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Pkt < chains[j].Pkt })
+	return chains
+}
+
+// PhaseStat is one row of a latency breakdown: the aggregate contribution of
+// a phase across a set of chains.
+type PhaseStat struct {
+	Phase Phase
+	Spans int
+	Total sim.Duration
+	Max   sim.Duration
+}
+
+// Breakdown aggregates the pre-delivery spans of complete chains by phase,
+// returning rows in phase order plus the total attributed time (which, by
+// the tiling invariant, equals the summed end-to-end latency of the audited
+// packets).
+func Breakdown(chains []Chain) ([]PhaseStat, sim.Duration) {
+	var rows [PhaseAck + 1]PhaseStat
+	var total sim.Duration
+	for ci := range chains {
+		c := &chains[ci]
+		if !c.Complete() {
+			continue
+		}
+		for _, s := range c.Spans {
+			row := &rows[s.Phase]
+			row.Spans++
+			row.Total += s.Dur
+			if s.Dur > row.Max {
+				row.Max = s.Dur
+			}
+			total += s.Dur
+		}
+	}
+	out := make([]PhaseStat, 0, len(rows))
+	for p := PhaseQueue; p <= PhaseAck; p++ {
+		if rows[p].Spans > 0 {
+			rows[p].Phase = p
+			out = append(out, rows[p])
+		}
+	}
+	return out, total
+}

@@ -8,7 +8,8 @@ import (
 )
 
 // Flags registers the standard observability flags (-trace-out,
-// -metrics-out, -sample-interval, -watch, -flight-records) on the default
+// -metrics-out, -sample-interval, -watch, -flight-records, -trace-sample)
+// on the default
 // flag set. Call before flag.Parse; invoke the returned function after
 // parsing — it yields nil when no telemetry output was requested, which is
 // the zero-overhead path.
@@ -23,8 +24,10 @@ func Flags() func() *Options {
 		"print one utilization/queue/drop dashboard line per sample interval to stderr")
 	records := flag.Int("flight-records", 0,
 		"per-shard flight-recorder ring capacity in records (0: default 65536)")
+	traceSample := flag.Int("trace-sample", 0,
+		"capture full lifecycle span chains for 1 in N packets, chosen deterministically by packet-id hash (0: off; 1: every packet)")
 	return func() *Options {
-		if *traceOut == "" && *metricsOut == "" && !*watch {
+		if *traceOut == "" && *metricsOut == "" && !*watch && *traceSample <= 0 {
 			return nil
 		}
 		o := &Options{
@@ -32,9 +35,11 @@ func Flags() func() *Options {
 			FlightRecords:  *records,
 			TraceOut:       *traceOut,
 			MetricsOut:     *metricsOut,
+			TraceSample:    *traceSample,
 		}
-		if *traceOut == "" {
-			// No trace export requested: skip the ring memory entirely.
+		if *traceOut == "" && *traceSample <= 0 {
+			// No trace export or span capture requested: skip the ring
+			// memory entirely.
 			o.FlightRecords = -1
 		}
 		if *watch {

@@ -21,6 +21,7 @@ const (
 	KindRetransmit                   // retransmission timer fired
 	KindLevel                        // gatesim: wire level transition (Aux = 0/1)
 	KindFault                        // fault-script event applied (Aux = faults.Action)
+	KindSpan                         // lifecycle span of a traced packet (Phase set, Dur = length)
 )
 
 // String returns the kind's short name (used by the CSV exporter and the
@@ -45,6 +46,8 @@ func (k RecordKind) String() string {
 		return "level"
 	case KindFault:
 		return "fault"
+	case KindSpan:
+		return "span"
 	}
 	return "unknown"
 }
@@ -62,6 +65,9 @@ type Record struct {
 	Loc  int32
 	Aux  int32 // Baldur: switch id; elecnet: VC; gatesim: level
 	Kind RecordKind
+	// Phase classifies KindSpan records; PhaseNone otherwise. The field
+	// lives in the struct's existing padding, so Record stays 48 bytes.
+	Phase Phase
 }
 
 // Ring is one shard's bounded record buffer. Each ring is written by exactly
@@ -127,7 +133,8 @@ func (f *FlightRecorder) Overwritten() uint64 {
 }
 
 // Records merges every ring's retained records and sorts them by every
-// field, (time, packet, kind, location, source, destination, aux, duration).
+// field, (time, packet, kind, phase, location, source, destination, aux,
+// duration).
 // The comparator is a full lexicographic order, so any records that still
 // tie are bit-identical and the export is deterministic regardless of how
 // records were distributed over shards. Call only at a barrier.
@@ -153,6 +160,9 @@ func (f *FlightRecorder) Records() []Record {
 		}
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
 		}
 		if a.Loc != b.Loc {
 			return a.Loc < b.Loc

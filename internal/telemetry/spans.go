@@ -1,0 +1,125 @@
+package telemetry
+
+import "baldur/internal/sim"
+
+// Phase classifies one span of a traced packet's lifecycle. A traced packet's
+// pre-delivery spans are emitted so that they tile the interval
+// [inject, deliver) exactly — contiguous, non-overlapping, exhaustive — which
+// is what makes the attribution invariant (span durations sum to the
+// Stats-recorded end-to-end latency) checkable rather than approximate.
+//
+// Sender-side phases (emitted by the shard that owns the packet's source
+// NIC) account for time before a transmission attempt starts; flight phases
+// account for the delivered attempt's time on the wire and in the fabric.
+// PhaseAck is post-delivery bookkeeping and is excluded from the sum.
+type Phase uint8
+
+// Span phases. PhaseNone marks non-span records (the zero value).
+const (
+	PhaseNone     Phase = iota
+	PhaseQueue          // waiting in the source NIC queue
+	PhaseWireBusy       // injection wire still serializing a previous packet
+	PhaseBackoff        // binary-exponential-backoff window (Baldur)
+	PhaseRetxWait       // lost attempt: waiting for the retransmission timer
+	PhaseWire           // serialization of the delivered attempt
+	PhaseLink           // host/ejection fiber propagation
+	PhaseHop            // per-hop propagation (optical stage or router pipeline+link)
+	PhaseStall          // credit/VC stall at a router output port (elecnet)
+	PhaseAck            // ACK return to the sender (post-delivery)
+)
+
+// String returns the phase's short name (CSV column, Chrome slice name).
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueue:
+		return "queue"
+	case PhaseWireBusy:
+		return "wire_busy"
+	case PhaseBackoff:
+		return "backoff"
+	case PhaseRetxWait:
+		return "retx_wait"
+	case PhaseWire:
+		return "wire"
+	case PhaseLink:
+		return "link"
+	case PhaseHop:
+		return "hop"
+	case PhaseStall:
+		return "stall"
+	case PhaseAck:
+		return "ack"
+	}
+	return ""
+}
+
+// PhaseFromString inverts String; it returns PhaseNone for unknown names.
+func PhaseFromString(s string) Phase {
+	for p := PhaseQueue; p <= PhaseAck; p++ {
+		if p.String() == s {
+			return p
+		}
+	}
+	return PhaseNone
+}
+
+// Sender reports whether p is a sender-side waiting phase (accrued before
+// the delivered attempt left the NIC).
+func (p Phase) Sender() bool {
+	return p >= PhaseQueue && p <= PhaseRetxWait
+}
+
+// Flight reports whether p is a flight phase of the delivered attempt.
+func (p Phase) Flight() bool {
+	return p >= PhaseWire && p <= PhaseStall
+}
+
+// traceHash is the splitmix64 finalizer: a full-avalanche bijection on
+// uint64, so the sampled set is an unbiased 1-in-N slice of packet ids even
+// though ids themselves are highly structured ((src+1)<<32 | seq).
+func traceHash(id uint64) uint64 {
+	id ^= id >> 33
+	id *= 0xff51afd7ed558ccd
+	id ^= id >> 33
+	id *= 0xc4ceb9fe1a85ec53
+	id ^= id >> 33
+	return id
+}
+
+// Sampled reports whether packet id is in the deterministic 1-in-every trace
+// sample. The decision is a pure function of the id — packet ids are
+// assigned identically for every shard count and every rerun of a seeded
+// config — so the traced set is invariant across K and across reruns.
+// every <= 0 disables sampling; every == 1 traces every packet.
+func Sampled(id uint64, every int) bool {
+	if every <= 0 {
+		return false
+	}
+	return traceHash(id)%uint64(every) == 0
+}
+
+// TraceEvery returns the configured 1-in-N span-capture rate, or 0 when
+// tracing is off. Span capture needs somewhere to put the spans, so a
+// disabled flight recorder forces 0 regardless of Opts.TraceSample.
+// Networks resolve this once at attach time and cache it in their probes.
+func (t *Telemetry) TraceEvery() int {
+	if t == nil || t.Rec == nil || t.Opts.TraceSample <= 0 {
+		return 0
+	}
+	return t.Opts.TraceSample
+}
+
+// AddSpan appends one lifecycle span covering [from, to) to the ring.
+// Zero-duration spans are skipped — phases the packet never actually waited
+// in do not appear in the chain, keeping traces compact without breaking the
+// tiling (an empty interval tiles trivially).
+func (r *Ring) AddSpan(phase Phase, from, to sim.Time, pkt uint64, src, dst, loc, aux int32) {
+	if to <= from {
+		return
+	}
+	r.Add(Record{
+		At: from, Dur: to.Sub(from), Pkt: pkt,
+		Src: src, Dst: dst, Loc: loc, Aux: aux,
+		Kind: KindSpan, Phase: phase,
+	})
+}

@@ -22,6 +22,13 @@ type Options struct {
 	// get the compact CSV form; anything else gets Chrome trace-event JSON
 	// (loadable in Perfetto / chrome://tracing). Empty disables the export.
 	TraceOut string
+	// TraceSample enables packet-lifecycle span capture: 1 in TraceSample
+	// packets (chosen by a hash of the packet id, so the traced set is
+	// shard-count- and rerun-invariant) accumulates a causal chain of
+	// typed spans in the flight recorder. 0 disables span capture; 1
+	// traces every packet. Requires the flight recorder (FlightRecords
+	// >= 0) — with the recorder disabled the rate is forced to 0.
+	TraceSample int
 	// MetricsOut is the metrics time-series CSV path. Empty disables it.
 	MetricsOut string
 	// Watch, when non-nil, receives one dashboard line per sample interval.
@@ -75,6 +82,12 @@ func New(opts Options, shards int) *Telemetry {
 			n = DefaultFlightRecords
 		}
 		t.Rec = NewFlightRecorder(shards, n)
+		// Ring overflow silently discards the oldest records, which can
+		// make a trace look complete when it is not. Surface the loss as
+		// an explicit cumulative counter: the sampler reports deltas, so
+		// the metrics CSV shows per-interval drops.
+		dropped := t.Reg.Count(t.Reg.Counter("trace_dropped_records"), 0)
+		t.OnProbe(func() { dropped.Set(t.Rec.Overwritten()) })
 	}
 	return t
 }
@@ -111,6 +124,10 @@ func (t *Telemetry) Interval() sim.Duration { return t.Opts.SampleInterval }
 // inserted before the file extension so per-cell outputs do not clobber
 // each other.
 func (t *Telemetry) WriteOutputs(tag string) error {
+	if t.Rec != nil && t.Rec.Overwritten() > 0 {
+		fmt.Fprintf(os.Stderr, "telemetry: WARN flight recorder wrapped, %d oldest records dropped — the exported trace is incomplete (raise -flight-records); see the trace_dropped_records counter\n",
+			t.Rec.Overwritten())
+	}
 	if t.Opts.TraceOut != "" {
 		path := tagPath(t.Opts.TraceOut, tag)
 		recs := []Record{}
@@ -124,10 +141,6 @@ func (t *Telemetry) WriteOutputs(tag string) error {
 			return WriteChromeTrace(w, recs, t.Opts.TickPS, t.Opts.Label)
 		}); err != nil {
 			return fmt.Errorf("telemetry: trace export: %w", err)
-		}
-		if t.Rec != nil && t.Rec.Overwritten() > 0 {
-			fmt.Fprintf(os.Stderr, "telemetry: flight recorder wrapped, %d oldest records lost (%s)\n",
-				t.Rec.Overwritten(), path)
 		}
 	}
 	if t.Opts.MetricsOut != "" {

@@ -266,10 +266,10 @@ func TestFlightAndMetricsCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "at_ps,dur_ps,kind,pkt,src,dst,loc,aux" {
+	if lines[0] != "at_ps,dur_ps,kind,pkt,src,dst,loc,aux,phase" {
 		t.Errorf("flight CSV header = %q", lines[0])
 	}
-	if lines[1] != "10,2,hop,7,1,2,0,3" {
+	if lines[1] != "10,2,hop,7,1,2,0,3," {
 		t.Errorf("flight CSV row = %q", lines[1])
 	}
 
