@@ -6,6 +6,7 @@
 //	baldursim -net baldur -pattern transpose -load 0.7 -nodes 1024 -packets 10000
 //	baldursim -net dragonfly -pattern random_permutation -load 0.5
 //	baldursim -net baldur -workload FB -nodes 256
+//	baldursim -net fattree -workload examples/workloads/mix.json -scale quick
 package main
 
 import (
@@ -20,13 +21,14 @@ import (
 	"baldur/internal/prof"
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
+	workloadpkg "baldur/internal/workload"
 )
 
 func main() {
 	var (
 		network  = flag.String("net", "baldur", "network: baldur|multibutterfly|dragonfly|fattree|ideal")
 		pattern  = flag.String("pattern", "random_permutation", "traffic pattern: random_permutation|transpose|bisection|group_permutation|hotspot|ping_pong1|ping_pong2")
-		workload = flag.String("workload", "", "HPC workload instead of a pattern: AMG|BigFFT|CR|FB")
+		workload = flag.String("workload", "", "workload instead of a pattern: an HPC trace name (AMG|BigFFT|CR|FB) or a path to a multi-tenant service workload spec (*.json)")
 		load     = flag.Float64("load", 0.7, "input load (fraction of line rate)")
 		scale    = flag.String("scale", "", "named size preset: "+strings.Join(exp.ScaleNames(), "|")+" (sets -nodes/-packets/-dragonfly-p/-fattree-k, which individually still override it)")
 		nodes    = flag.Int("nodes", 1024, "Baldur/multi-butterfly node count (power of two)")
@@ -96,6 +98,11 @@ func main() {
 		sc.Audit = &check.Options{Interval: sim.Microseconds(*auditIvl)}
 	}
 
+	if strings.HasSuffix(*workload, ".json") {
+		runServiceWorkload(*network, *workload, sc)
+		return
+	}
+
 	var p exp.Point
 	switch {
 	case *workload != "":
@@ -133,6 +140,33 @@ func main() {
 		os.Exit(1)
 	}
 	if !p.Finished {
+		fmt.Println("warning: run hit the virtual-time safety horizon before draining")
+	}
+}
+
+// runServiceWorkload runs a multi-tenant service workload spec file and
+// prints the per-tenant SLO table (use -net to pick the fabric under test).
+func runServiceWorkload(network, specPath string, sc exp.Scale) {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baldursim:", err)
+		os.Exit(1)
+	}
+	spec, err := workloadpkg.ParseSpec(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baldursim:", err)
+		os.Exit(1)
+	}
+	rep, err := exp.RunWorkload(network, spec, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baldursim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("network=%s workload=%s tenants=%d\n", rep.Network, rep.Workload, len(rep.Tenants))
+	fmt.Printf("flows: arrived=%d admitted=%d rejected=%d  packets: injected=%d delivered=%d  incomplete_flows=%d\n",
+		rep.Arrived, rep.Admitted, rep.Rejected, rep.Injected, rep.Delivered, rep.IncompleteFlows)
+	fmt.Print(rep.Table())
+	if !rep.Finished {
 		fmt.Println("warning: run hit the virtual-time safety horizon before draining")
 	}
 }

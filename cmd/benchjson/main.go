@@ -28,6 +28,7 @@ import (
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
 	"baldur/internal/traffic"
+	"baldur/internal/workload"
 )
 
 // result is one benchmark's measurements.
@@ -97,6 +98,18 @@ const faultsExtraAllocsCeil = 8.0
 // up as hundreds per op.
 const traceExtraAllocsCeil = 8.0
 
+// workloadExtraAllocsCeil is the absolute ceiling on extra allocations per
+// run inside the event loop for an open-loop cell whose network has a service
+// workload driver attached but carries no flow traffic (the
+// workload_overhead entry's extra_allocs_op metric). Non-flow packets return
+// from the workload's delivery hook after a single Flow == 0 branch — the
+// same nil-probe discipline as the telemetry and fault layers — so the
+// differential must be zero up to runtime-internal allocations landing inside
+// the measurement window. A real allocation creeping into the delivery probe
+// would scale with the cell's packet count (hundreds per op) and trip the
+// gate.
+const workloadExtraAllocsCeil = 8.0
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file ('-' for stdout)")
 	check := flag.String("check", "", "baseline JSON to diff against; exits 1 if an engine microbenchmark regresses by >15% ns/op")
@@ -114,6 +127,7 @@ func main() {
 		{"telemetry_overhead", benchTelemetryOverhead},
 		{"trace_overhead", benchTraceOverhead},
 		{"faults_overhead", benchFaultsOverhead},
+		{"workload_overhead", benchWorkloadOverhead},
 		{"twin_speedup", benchTwinSpeedup},
 		// Last on purpose: peak RSS is a process-lifetime high-water mark,
 		// so the 128K-node runs must come after every smaller benchmark for
@@ -209,10 +223,13 @@ func compare(base, fresh report, w io.Writer) bool {
 				r.Name, bpn, datacenterBytesPerNodeCeil, verdict)
 			continue
 		}
-		if r.Name == "faults_overhead" || r.Name == "trace_overhead" {
+		if r.Name == "faults_overhead" || r.Name == "trace_overhead" || r.Name == "workload_overhead" {
 			ceil := faultsExtraAllocsCeil
-			if r.Name == "trace_overhead" {
+			switch r.Name {
+			case "trace_overhead":
 				ceil = traceExtraAllocsCeil
+			case "workload_overhead":
+				ceil = workloadExtraAllocsCeil
 			}
 			extra := r.Extra["extra_allocs_op"]
 			verdict := "ok"
@@ -473,6 +490,74 @@ func benchFaultsOverhead(b *testing.B) {
 		}
 	})
 	b.ReportMetric(scripted-plain, "extra_allocs_op")
+	b.ReportMetric(plain, "plain_allocs_op")
+}
+
+// benchWorkloadOverhead prices the service-workload layer's disabled path:
+// the same open-loop baldur cell runs b.N times with no workload driver and
+// b.N times with an idle driver attached (its only tenant's first arrival
+// falls far beyond the workload deadline, and a reject_all policy backstops
+// the astronomically unlikely early draw), and the allocation difference per
+// run is reported as extra_allocs_op. Unlike faults_overhead, the
+// measurement window covers only the event loop — driver setup (per-shard
+// accumulators, per-source injectors) is a legitimate fixed attach cost and
+// is excluded — so the differential isolates the per-delivery nil probe:
+// every OpenLoop packet traverses the workload's delivery hook and must
+// return after the one Flow == 0 branch without allocating. -check gates
+// extra_allocs_op against the absolute workloadExtraAllocsCeil.
+func benchWorkloadOverhead(b *testing.B) {
+	cfg := check.FuzzConfig{
+		Net: "baldur", NodesExp: 4, LoadPct: 70, PacketsPerNode: 12,
+		FaultStage: -1, Seed: 1,
+	}.Canon()
+	deadline := sim.Time(0).Add(500 * sim.Microsecond)
+	idle := workload.Spec{
+		Name:       "idle",
+		Seed:       1,
+		DurationUS: 1,
+		Tenants: []workload.TenantSpec{{
+			Name:      "idle",
+			Arrival:   workload.ArrivalSpec{Process: "poisson", RateFPS: 1e-3},
+			Size:      workload.SizeSpec{Dist: "fixed", Bytes: 512},
+			Admission: workload.PolicySpec{Policy: "reject_all"},
+		}},
+	}
+	measure := func(attach bool) float64 {
+		var total uint64
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			net, _, err := harness.Build(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var col netsim.Collector
+			col.Attach(net)
+			if attach {
+				drv, err := workload.New(idle)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := drv.Attach(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ol := traffic.OpenLoop{
+				Pattern:        traffic.RandomPermutation(net.NumNodes(), cfg.Seed+10),
+				Load:           float64(cfg.LoadPct) / 100,
+				PacketsPerNode: cfg.PacketsPerNode,
+				Seed:           cfg.Seed + 100,
+			}
+			ol.Start(net)
+			runtime.ReadMemStats(&before)
+			netsim.Run(net, deadline)
+			runtime.ReadMemStats(&after)
+			total += after.Mallocs - before.Mallocs
+		}
+		return float64(total) / float64(b.N)
+	}
+	plain := measure(false)
+	attached := measure(true)
+	b.ReportMetric(attached-plain, "extra_allocs_op")
 	b.ReportMetric(plain, "plain_allocs_op")
 }
 

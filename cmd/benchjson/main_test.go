@@ -119,6 +119,32 @@ func TestCompareTraceOverheadGate(t *testing.T) {
 	}
 }
 
+func TestCompareWorkloadOverheadGate(t *testing.T) {
+	// workload_overhead is gated absolutely on the fresh run, like
+	// faults_overhead: non-flow packets traversing an attached workload
+	// driver's delivery hook return after one branch, so the event-loop
+	// allocation differential may cost at most measurement-window slack.
+	fresh := rep(result{Name: "workload_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 1}})
+	var out strings.Builder
+	if !compare(rep(), fresh, &out) {
+		t.Errorf("1 extra alloc/op failed the %.0f-alloc gate:\n%s", workloadExtraAllocsCeil, out.String())
+	}
+	if !strings.Contains(out.String(), "workload_overhead") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("no ok verdict printed:\n%s", out.String())
+	}
+
+	leak := rep(result{Name: "workload_overhead", NsPerOp: 100,
+		Extra: map[string]float64{"extra_allocs_op": 192}})
+	out.Reset()
+	if compare(rep(), leak, &out) {
+		t.Error("a per-packet allocation on the no-workload delivery path passed the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict printed:\n%s", out.String())
+	}
+}
+
 func TestCompareUnusableBaselineEntry(t *testing.T) {
 	base := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 0})
 	fresh := rep(result{Name: "engine_schedule_dispatch_typed", NsPerOp: 100})

@@ -27,6 +27,7 @@ func main() {
 	aggPath := flag.String("agg-csv", "", "write the across-seed aggregate CSV to this path (\"-\" for stdout)")
 	traceDir := flag.String("trace-dir", "", "write one Perfetto trace per cell into this directory (overrides the spec's trace_dir)")
 	traceSample := flag.Int("trace-sample", 0, "capture lifecycle span chains for 1 in N packets per cell (overrides the spec's trace_sample)")
+	parallel := flag.Int("parallel", 0, "max cells simulated concurrently (0: spec's max_parallel, else GOMAXPROCS; report order and bytes are identical for any value)")
 	quiet := flag.Bool("q", false, "suppress the rendered table")
 	flag.Parse()
 
@@ -48,6 +49,9 @@ func main() {
 	}
 	if *traceSample > 0 {
 		spec.TraceSample = *traceSample
+	}
+	if *parallel > 0 {
+		spec.MaxParallel = *parallel
 	}
 	rep, err := exp.RunCampaign(spec)
 	if err != nil {

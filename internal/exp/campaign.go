@@ -14,6 +14,7 @@ import (
 	"baldur/internal/sim"
 	"baldur/internal/telemetry"
 	"baldur/internal/traffic"
+	"baldur/internal/workload"
 )
 
 // CampaignGrid spans the configuration axes of a campaign. Empty slices take
@@ -66,6 +67,18 @@ type CampaignSpec struct {
 	// enabled (default 1<<17). Undersized rings drop the oldest records —
 	// visible in the trace_dropped_records counter and a WARN line.
 	FlightRecords int `json:"flight_records,omitempty"`
+	// Workload, when set, replaces the open-loop random-permutation traffic
+	// of every cell with the multi-tenant service workload: tenant flows
+	// are generated, admitted and packetized by internal/workload, and the
+	// availability/fingerprint machinery observes them like any other
+	// traffic. The workload seed is offset by each cell's seed so seeds
+	// sweep tenant arrival streams the way they sweep open-loop ones.
+	Workload *workload.Spec `json:"workload,omitempty"`
+	// MaxParallel caps how many cells run concurrently (0: GOMAXPROCS).
+	// Cells are independent simulations; the report is folded in canonical
+	// grid order afterwards, so any parallelism yields byte-identical
+	// output to a serial run.
+	MaxParallel int `json:"max_parallel,omitempty"`
 }
 
 // ParseCampaign decodes a campaign spec from JSON.
@@ -208,13 +221,28 @@ func runCampaignCell(spec CampaignSpec, netName string, nodesExp, loadPct, shard
 	}
 	var col netsim.Collector
 	col.Attach(net)
-	ol := traffic.OpenLoop{
-		Pattern:        traffic.RandomPermutation(net.NumNodes(), cfg.Seed+10),
-		Load:           float64(cfg.LoadPct) / 100,
-		PacketsPerNode: cfg.PacketsPerNode,
-		Seed:           cfg.Seed + 100,
+	if spec.Workload != nil {
+		ws := *spec.Workload
+		if ws.Seed == 0 {
+			ws.Seed = 1
+		}
+		ws.Seed += seed
+		drv, err := workload.New(ws)
+		if err != nil {
+			return res, err
+		}
+		if err := drv.Attach(net); err != nil {
+			return res, err
+		}
+	} else {
+		ol := traffic.OpenLoop{
+			Pattern:        traffic.RandomPermutation(net.NumNodes(), cfg.Seed+10),
+			Load:           float64(cfg.LoadPct) / 100,
+			PacketsPerNode: cfg.PacketsPerNode,
+			Seed:           cfg.Seed + 100,
+		}
+		ol.Start(net)
 	}
-	ol.Start(net)
 	var aud *check.Auditor
 	if spec.Audit {
 		aud = check.New(check.Options{})
@@ -318,19 +346,23 @@ type CampaignReport struct {
 	Cells []CellResult
 }
 
-// RunCampaign executes the spec sequentially in grid order. Each (config,
-// seed) runs its fault-free baseline first; script cells are normalized
-// against it. Cells differing only in shard count are checked for
-// bit-identical stats — any divergence is a simulator bug and fails the
-// campaign immediately.
-func RunCampaign(spec CampaignSpec) (*CampaignReport, error) {
-	spec = spec.withDefaults()
-	rep := &CampaignReport{Spec: spec}
-	baselines := make(map[string]harness.Fingerprint)
-	baseTails := make(map[string]float64)
-	invariant := make(map[string]*CellResult)
-	empty := faults.ScriptSpec{Name: BaselineScript}
+// campaignCellKey is one cell of the canonical grid enumeration.
+type campaignCellKey struct {
+	net      string
+	nodesExp int
+	loadPct  int
+	shards   int
+	seed     uint64
+	script   faults.ScriptSpec
+}
 
+// enumCells expands the grid into canonical order: nets → nodes → loads →
+// shards → seeds → (baseline, scripts...). This order is the report's row
+// order and the normalization fold's order, independent of how the cells
+// are scheduled.
+func enumCells(spec CampaignSpec) []campaignCellKey {
+	var keys []campaignCellKey
+	scripts := append([]faults.ScriptSpec{{Name: BaselineScript}}, spec.Scripts...)
 	for _, netName := range spec.Grid.Nets {
 		nes := spec.Grid.NodesExp
 		if netName == "dragonfly" || netName == "fattree" {
@@ -342,40 +374,81 @@ func RunCampaign(spec CampaignSpec) (*CampaignReport, error) {
 			for _, load := range spec.Grid.LoadsPct {
 				for _, sh := range spec.Grid.Shards {
 					for _, seed := range spec.Seeds {
-						scripts := append([]faults.ScriptSpec{empty}, spec.Scripts...)
 						for _, script := range scripts {
-							cell, err := runCampaignCell(spec, netName, ne, load, sh, seed, script)
-							if err != nil {
-								return nil, fmt.Errorf("exp: campaign %q cell %s: %w", spec.Name, cell.id(), err)
-							}
-							if script.Name == BaselineScript {
-								baselines[cell.baseKey()] = cell.fp
-								baseTails[cell.baseKey()] = cell.TailNS
-							} else {
-								base := baselines[cell.baseKey()]
-								if bt := baseTails[cell.baseKey()]; bt > 0 {
-									cell.TailInflation = cell.TailNS / bt
-								}
-								if br := retxRatio(base); br > 0 {
-									cell.RetxAmp = retxRatio(cell.fp) / br
-								}
-							}
-							if prev, ok := invariant[cell.invKey()]; ok {
-								if prev.fp != cell.fp {
-									return nil, fmt.Errorf(
-										"exp: campaign %q: shard-count divergence on %s:\n  %d shards: %+v\n  %d shards: %+v",
-										spec.Name, cell.invKey(), prev.Shards, prev.fp, cell.Shards, cell.fp)
-								}
-							} else {
-								c := cell
-								invariant[cell.invKey()] = &c
-							}
-							rep.Cells = append(rep.Cells, cell)
+							keys = append(keys, campaignCellKey{
+								net: netName, nodesExp: ne, loadPct: load,
+								shards: sh, seed: seed, script: script,
+							})
 						}
 					}
 				}
 			}
 		}
+	}
+	return keys
+}
+
+// RunCampaign executes the spec's cells concurrently (bounded by
+// MaxParallel, default GOMAXPROCS — every cell is an independent simulation
+// with its own seeded RNGs) and folds the report serially in canonical grid
+// order, so the output is byte-identical to a serial run. Each (config,
+// seed) runs a fault-free baseline; script cells are normalized against it.
+// Cells differing only in shard count are checked for bit-identical stats —
+// any divergence is a simulator bug and fails the campaign immediately.
+func RunCampaign(spec CampaignSpec) (*CampaignReport, error) {
+	spec = spec.withDefaults()
+	if spec.Workload != nil {
+		if err := spec.Workload.Validate(); err != nil {
+			return nil, fmt.Errorf("exp: campaign %q: %w", spec.Name, err)
+		}
+	}
+	keys := enumCells(spec)
+	cells := make([]CellResult, len(keys))
+	workers := Scale{MaxParallel: spec.MaxParallel}.workers()
+	err := runParallel(len(keys), workers, func(i int) error {
+		k := keys[i]
+		cell, err := runCampaignCell(spec, k.net, k.nodesExp, k.loadPct, k.shards, k.seed, k.script)
+		if err != nil {
+			return fmt.Errorf("exp: campaign %q cell %s: %w", spec.Name, cell.id(), err)
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial fold in canonical order: baselines precede their script cells
+	// within each (config, seed) group by construction of enumCells.
+	rep := &CampaignReport{Spec: spec}
+	baselines := make(map[string]harness.Fingerprint)
+	baseTails := make(map[string]float64)
+	invariant := make(map[string]*CellResult)
+	for i := range cells {
+		cell := cells[i]
+		if cell.Script == BaselineScript {
+			baselines[cell.baseKey()] = cell.fp
+			baseTails[cell.baseKey()] = cell.TailNS
+		} else {
+			base := baselines[cell.baseKey()]
+			if bt := baseTails[cell.baseKey()]; bt > 0 {
+				cell.TailInflation = cell.TailNS / bt
+			}
+			if br := retxRatio(base); br > 0 {
+				cell.RetxAmp = retxRatio(cell.fp) / br
+			}
+		}
+		if prev, ok := invariant[cell.invKey()]; ok {
+			if prev.fp != cell.fp {
+				return nil, fmt.Errorf(
+					"exp: campaign %q: shard-count divergence on %s:\n  %d shards: %+v\n  %d shards: %+v",
+					spec.Name, cell.invKey(), prev.Shards, prev.fp, cell.Shards, cell.fp)
+			}
+		} else {
+			c := cell
+			invariant[cell.invKey()] = &c
+		}
+		rep.Cells = append(rep.Cells, cell)
 	}
 	return rep, nil
 }

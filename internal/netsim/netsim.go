@@ -41,6 +41,18 @@ type Packet struct {
 	// Acked marks packets whose ACK arrived while they were still queued
 	// for retransmission; the NIC discards them instead of sending.
 	Acked bool
+	// Flow tags packets belonging to a service-workload flow
+	// (internal/workload); 0 means the packet is not flow traffic. The
+	// tag, tenant and per-flow packet count ride in the packet so the
+	// destination shard can account flow completion without any
+	// cross-shard reads: every packet of a flow shares one (src, dst)
+	// pair, so all of a flow's deliveries land on the destination node's
+	// shard.
+	Flow uint64
+	// FlowPackets is the total packet count of the flow Flow belongs to.
+	FlowPackets int32
+	// Tenant is the 1-based tenant index of the flow's owner (0 = none).
+	Tenant int32
 	// Traced marks packets selected by the deterministic lifecycle-trace
 	// sampler (telemetry.Sampled on the packet id). Only the shard that
 	// owns the packet may read or write TraceCursor.

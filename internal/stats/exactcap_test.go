@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExactCapUnderCap: with fewer observations than the cap, quantiles are
+// exact rank-order statistics.
+func TestExactCapUnderCap(t *testing.T) {
+	var h Histogram
+	h.SetExactCap(100)
+	for i := 1; i <= 50; i++ {
+		h.Add(float64(i))
+	}
+	if !h.QuantilesExact() {
+		t.Fatal("QuantilesExact() = false under the cap")
+	}
+	if got := h.Quantile(0.5); got != 25 {
+		t.Errorf("p50 = %v, want exact 25", got)
+	}
+	if got := h.Quantile(0.999); got != 50 {
+		t.Errorf("p99.9 = %v, want exact 50", got)
+	}
+}
+
+// TestExactCapOverflowFallsBack: once the cap is exceeded, the sample set
+// is released, QuantilesExact flips to false, and quantiles fall back to
+// bucket estimates within the documented relative error.
+func TestExactCapOverflowFallsBack(t *testing.T) {
+	var h Histogram
+	h.SetExactCap(10)
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.QuantilesExact() {
+		t.Fatal("QuantilesExact() = true past the cap")
+	}
+	got := h.Quantile(0.5)
+	want := 500.0
+	if rel := math.Abs(got-want) / want; rel > MaxQuantileRelError {
+		t.Errorf("bucketed p50 = %v, want %v within %v rel error (got %v)", got, want, MaxQuantileRelError, rel)
+	}
+	// Min/max stay exact through the Running moments.
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("min/max = %v/%v, want exact 1/1000", h.Min(), h.Max())
+	}
+}
+
+// TestExactCapMergeShardInvariant is the fold contract the per-tenant SLO
+// report relies on: the same observations split across K per-shard
+// histograms (all with the same cap) must answer every quantile
+// bit-identically to the K=1 fold, both under the cap (exact on every K)
+// and past it (bucketed on every K) — the exact-vs-bucketed verdict is a
+// pure function of the total count, never of the split.
+func TestExactCapMergeShardInvariant(t *testing.T) {
+	const cap = 64
+	quantiles := []float64{0, 0.5, 0.99, 0.999, 1}
+	for _, n := range []int{cap - 1, cap, cap + 1, 10 * cap} {
+		// Reference: everything through one histogram.
+		var ref Histogram
+		ref.SetExactCap(cap)
+		for i := 0; i < n; i++ {
+			ref.Add(float64(1 + (i*2654435761)%100000))
+		}
+		var refMerged Histogram
+		refMerged.SetExactCap(cap)
+		refMerged.Merge(&ref)
+		for _, k := range []int{2, 4, 7} {
+			shards := make([]Histogram, k)
+			for s := range shards {
+				shards[s].SetExactCap(cap)
+			}
+			for i := 0; i < n; i++ {
+				// Round-robin split: shard assignment must not matter.
+				shards[i%k].Add(float64(1 + (i*2654435761)%100000))
+			}
+			var merged Histogram
+			merged.SetExactCap(cap)
+			for s := range shards {
+				merged.Merge(&shards[s])
+			}
+			if merged.QuantilesExact() != refMerged.QuantilesExact() {
+				t.Fatalf("n=%d k=%d: exact verdict %v != reference %v",
+					n, k, merged.QuantilesExact(), refMerged.QuantilesExact())
+			}
+			if want := n <= cap; merged.QuantilesExact() != want {
+				t.Fatalf("n=%d k=%d: exact verdict %v, want %v (pure function of total count)",
+					n, k, merged.QuantilesExact(), want)
+			}
+			for _, q := range quantiles {
+				if got, want := merged.Quantile(q), refMerged.Quantile(q); got != want {
+					t.Errorf("n=%d k=%d: Quantile(%v) = %v, want %v (bit-identical)", n, k, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExactCapResetRestoresRetention: Reset clears the overflow latch, so a
+// reused histogram retains samples again.
+func TestExactCapResetRestoresRetention(t *testing.T) {
+	var h Histogram
+	h.SetExactCap(4)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i + 1))
+	}
+	if h.QuantilesExact() {
+		t.Fatal("expected overflow before Reset")
+	}
+	h.Reset()
+	h.Add(3)
+	h.Add(1)
+	if !h.QuantilesExact() {
+		t.Fatal("Reset did not restore exact retention")
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 after reset = %v, want 1", got)
+	}
+}
+
+// TestExactCapStreamingMergeFallsBack: merging a streaming-only histogram
+// into an exact one leaves a sample gap — quantiles must not silently
+// pretend to be exact.
+func TestExactCapStreamingMergeFallsBack(t *testing.T) {
+	var exact, stream Histogram
+	exact.SetExactCap(100)
+	exact.Add(5)
+	stream.Add(7)
+	exact.Merge(&stream)
+	if exact.QuantilesExact() {
+		t.Fatal("QuantilesExact() = true after merging a streaming-only histogram")
+	}
+}

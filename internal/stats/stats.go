@@ -115,6 +115,14 @@ type Histogram struct {
 	// sampleSorted tracks whether samples is currently sorted, so repeated
 	// Quantile calls after the same Add sequence sort only once.
 	sampleSorted bool
+	// exactCap bounds sample retention (0 = unbounded). Once the retained
+	// set would exceed the cap, the samples are released and quantiles fall
+	// back to bucket estimates for the rest of the histogram's life (until
+	// Reset). The overflow decision depends only on the total observation
+	// count, never on which shard saw a sample first, so capped histograms
+	// folded across shards answer identically for any shard count.
+	exactCap  int
+	exactOver bool
 }
 
 // bucketsPerOctave controls the relative resolution of the histogram.
@@ -142,8 +150,49 @@ func bucketLow(b int) float64 {
 // not datacenter-scale ones. Must be set before the first Add.
 func (h *Histogram) SetExact(on bool) { h.exact = on }
 
+// SetExactCap turns on exact mode with bounded retention: up to cap raw
+// observations are kept for exact rank-order quantiles; the moment the
+// (cap+1)-th would be retained, the sample set is dropped and Quantile falls
+// back to the bucketed estimate (relative error at most MaxQuantileRelError)
+// for the rest of the histogram's life. cap <= 0 means unbounded (plain
+// SetExact). The same cap must be set on every histogram a fold merges into,
+// so the exact-vs-bucketed decision is a pure function of the total sample
+// count and the folded result is bit-identical for any shard count. Must be
+// called before the first Add.
+func (h *Histogram) SetExactCap(cap int) {
+	h.exact = true
+	if cap < 0 {
+		cap = 0
+	}
+	h.exactCap = cap
+}
+
 // Exact reports whether exact mode is on.
 func (h *Histogram) Exact() bool { return h.exact }
+
+// QuantilesExact reports whether Quantile currently answers from the full
+// retained sample set (exact rank-order statistics). It is false when exact
+// mode is off, when the cap overflowed, or when a streaming-only histogram
+// was merged in — in all of which cases quantiles are bucket estimates with
+// relative error at most MaxQuantileRelError.
+func (h *Histogram) QuantilesExact() bool {
+	n := h.run.N()
+	return h.exact && n > 0 && int64(len(h.samples)) == n
+}
+
+// retain appends one observation to the exact sample set, enforcing the cap.
+func (h *Histogram) retain(x float64) {
+	if h.exactOver {
+		return
+	}
+	if h.exactCap > 0 && len(h.samples) >= h.exactCap {
+		h.exactOver = true
+		h.samples = nil
+		return
+	}
+	h.samples = append(h.samples, x)
+	h.sampleSorted = false
+}
 
 // ensure grows the dense count array to cover bucket index b.
 func (h *Histogram) ensure(b int) {
@@ -184,8 +233,7 @@ func (h *Histogram) Add(x float64) {
 		h.counts[b-h.base]++
 	}
 	if h.exact {
-		h.samples = append(h.samples, x)
-		h.sampleSorted = false
+		h.retain(x)
 	}
 	h.run.Add(x)
 }
@@ -267,8 +315,12 @@ func (h *Histogram) Merge(other *Histogram) {
 		}
 	}
 	if h.exact {
-		h.samples = append(h.samples, other.samples...)
-		h.sampleSorted = false
+		for _, x := range other.samples {
+			h.retain(x)
+		}
+		// A merged-in histogram that itself dropped samples (overflowed cap
+		// or streaming-only) leaves len(samples) < N, which QuantilesExact
+		// and Quantile already treat as the bucketed fallback.
 	}
 	h.run.Merge(&other.run)
 }
@@ -284,6 +336,7 @@ func (h *Histogram) Reset() {
 	h.run = Running{}
 	h.samples = h.samples[:0]
 	h.sampleSorted = false
+	h.exactOver = false
 }
 
 // String summarizes the histogram for logs.

@@ -111,3 +111,41 @@ func TestPatternNodes(t *testing.T) {
 		t.Errorf("Nodes = %d", got)
 	}
 }
+
+// TestOpenLoopSpecReuse pins the fix for Start mutating its receiver: the
+// defaults (LinkRate, PacketSize) must resolve into locals, so an OpenLoop
+// value reused across cells drives run 2 exactly like run 1 and the spec
+// itself is left untouched between runs.
+func TestOpenLoopSpecReuse(t *testing.T) {
+	run := func(o *OpenLoop) (delivered uint64, last sim.Time) {
+		net := elecnet.NewIdeal(16, 0)
+		var lastAt sim.Time
+		var count uint64
+		net.OnDeliver(func(p *netsim.Packet, at sim.Time) {
+			count++
+			if at > lastAt {
+				lastAt = at
+			}
+		})
+		o.Pattern = RandomPermutation(net.NumNodes(), 7)
+		o.Start(net)
+		net.Engine().Run()
+		return count, lastAt
+	}
+
+	spec := OpenLoop{Load: 0.5, PacketsPerNode: 20, Seed: 3}
+	before := spec
+	d1, t1 := run(&spec)
+	if spec.LinkRate != 0 || spec.PacketSize != 0 {
+		t.Fatalf("Start mutated its receiver: LinkRate=%v PacketSize=%v (want zero defaults preserved)",
+			spec.LinkRate, spec.PacketSize)
+	}
+	d2, t2 := run(&spec)
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("reused spec diverged: run1 delivered=%d last=%v, run2 delivered=%d last=%v", d1, t1, d2, t2)
+	}
+	spec.Pattern = before.Pattern
+	if spec != before {
+		t.Fatalf("spec changed across runs: %+v -> %+v", before, spec)
+	}
+}

@@ -233,16 +233,20 @@ func (in *olInjector) Run(e *sim.Engine) {
 }
 
 // Start schedules the injection processes on the network's engine. Call
-// before running the engine.
+// before running the engine. Defaults are resolved into locals, never
+// written back into o: a spec literal reused across cells (the figure
+// sweeps reuse one OpenLoop value per load) must behave identically on
+// every run.
 func (o *OpenLoop) Start(net netsim.Network) {
-	if o.LinkRate == 0 {
-		o.LinkRate = 25e9
+	rate := o.LinkRate
+	if rate == 0 {
+		rate = 25e9
 	}
 	size := o.PacketSize
 	if size == 0 {
 		size = 512
 	}
-	mean := MeanInterval(size, o.Load, o.LinkRate)
+	mean := MeanInterval(size, o.Load, rate)
 	for src := 0; src < net.NumNodes(); src++ {
 		dst := o.Pattern.Dest[src]
 		if dst == -1 {

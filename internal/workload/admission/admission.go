@@ -1,0 +1,73 @@
+// Package admission provides the built-in admission policies of the
+// workload layer, registered by name in the workload registry (BLIS-style
+// policy plugins). Import for effect:
+//
+//	import _ "baldur/internal/workload/admission"
+//
+// Policies: "always" (admit everything), "reject_all" (admit nothing —
+// accounting and reconciliation tests), "token_bucket" (per-source share of
+// a tenant-aggregate byte budget).
+package admission
+
+import (
+	"baldur/internal/sim"
+	"baldur/internal/workload"
+)
+
+func init() {
+	workload.RegisterAdmission("always", func(workload.Params, workload.AdmissionContext) (workload.AdmissionPolicy, error) {
+		return admitAll{}, nil
+	})
+	workload.RegisterAdmission("reject_all", func(workload.Params, workload.AdmissionContext) (workload.AdmissionPolicy, error) {
+		return rejectAll{}, nil
+	})
+	workload.RegisterAdmission("token_bucket", newTokenBucket)
+}
+
+type admitAll struct{}
+
+func (admitAll) Admit(*workload.Flow) bool { return true }
+
+type rejectAll struct{}
+
+func (rejectAll) Admit(*workload.Flow) bool { return false }
+
+// tokenBucket admits a flow when its byte size fits the bucket. Parameters:
+//
+//	rate_gbps — tenant-aggregate refill rate in Gbit/s, divided evenly
+//	            across sources (default: 10% of the link rate)
+//	burst_kb  — per-source bucket depth in kilobytes (default 64)
+//
+// One instance serves one (tenant, source) pair and is only called from
+// that source's shard, so the mutable bucket state needs no locking; the
+// refill is computed lazily from the flow's arrival time, which the engine
+// delivers in nondecreasing order per shard.
+type tokenBucket struct {
+	rate   float64 // bytes per second, this source's share
+	burst  float64 // bytes
+	tokens float64
+	last   sim.Time
+}
+
+func newTokenBucket(p workload.Params, ctx workload.AdmissionContext) (workload.AdmissionPolicy, error) {
+	aggregate := p.Get("rate_gbps", ctx.LinkRate/1e9*0.1) * 1e9 / 8
+	burst := p.Get("burst_kb", 64) * 1024
+	return &tokenBucket{
+		rate:   aggregate / float64(ctx.Sources),
+		burst:  burst,
+		tokens: burst,
+	}, nil
+}
+
+func (tb *tokenBucket) Admit(f *workload.Flow) bool {
+	tb.tokens += f.Arrival.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = f.Arrival
+	if tb.tokens < float64(f.Bytes) {
+		return false
+	}
+	tb.tokens -= float64(f.Bytes)
+	return true
+}

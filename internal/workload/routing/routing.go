@@ -1,0 +1,69 @@
+// Package routing provides the built-in flow-routing policies of the
+// workload layer, registered by name in the workload registry. Import for
+// effect:
+//
+//	import _ "baldur/internal/workload/routing"
+//
+// Policies: "uniform" (uniform random destination per flow), "permutation"
+// (a fixed-point-free random permutation built once per tenant — every
+// flow of a source goes to the same partner), "hotspot" (all flows target
+// one node; parameter "target", default 0).
+//
+// Routing instances are shared across every source and shard of a tenant,
+// so they are immutable after construction; per-flow randomness comes from
+// the caller's per-(tenant, source) rng stream.
+package routing
+
+import (
+	"fmt"
+
+	"baldur/internal/sim"
+	"baldur/internal/traffic"
+	"baldur/internal/workload"
+)
+
+func init() {
+	workload.RegisterRouting("uniform", func(_ workload.Params, ctx workload.RoutingContext) (workload.FlowRoutingPolicy, error) {
+		return uniform{nodes: ctx.Nodes}, nil
+	})
+	workload.RegisterRouting("permutation", func(_ workload.Params, ctx workload.RoutingContext) (workload.FlowRoutingPolicy, error) {
+		return permutation{pat: traffic.RandomPermutation(ctx.Nodes, ctx.Seed)}, nil
+	})
+	workload.RegisterRouting("hotspot", newHotspot)
+}
+
+type uniform struct{ nodes int }
+
+func (u uniform) Dest(f *workload.Flow, rng *sim.RNG) int {
+	d := rng.Intn(u.nodes - 1)
+	if d >= f.Src {
+		d++ // skip the source: uniform over the other nodes-1
+	}
+	return d
+}
+
+type permutation struct{ pat *traffic.Pattern }
+
+func (p permutation) Dest(f *workload.Flow, _ *sim.RNG) int {
+	return p.pat.Dest[f.Src]
+}
+
+type hotspot struct {
+	target int
+	spill  int // where the target node itself sends
+}
+
+func newHotspot(p workload.Params, ctx workload.RoutingContext) (workload.FlowRoutingPolicy, error) {
+	target := int(p.Get("target", 0))
+	if target < 0 || target >= ctx.Nodes {
+		return nil, fmt.Errorf("routing: hotspot target %d out of range [0, %d)", target, ctx.Nodes)
+	}
+	return hotspot{target: target, spill: (target + 1) % ctx.Nodes}, nil
+}
+
+func (h hotspot) Dest(f *workload.Flow, _ *sim.RNG) int {
+	if f.Src == h.target {
+		return h.spill
+	}
+	return h.target
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the declarative form of a multi-tenant workload: a named mix of
+// tenants, each with an arrival process, a flow-size distribution and its
+// admission/routing policies. Specs are pure data — the same spec value can
+// drive any number of runs on any network without being mutated (defaults
+// resolve into the driver, never back into the spec).
+type Spec struct {
+	Name string `json:"name"`
+	// Seed roots every tenant's per-source RNG stream. 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// PacketSize is the wire packetization unit in bytes (default 512).
+	PacketSize int `json:"packet_size,omitempty"`
+	// LinkRateGbps is the per-node injection rate used for packet pacing
+	// and token-bucket budgets (default 25, the paper's link rate).
+	LinkRateGbps float64 `json:"link_rate_gbps,omitempty"`
+	// DurationUS closes the arrival window: no flow arrives after this
+	// much virtual time (default 100 µs). Flows in flight at the close
+	// still drain and complete.
+	DurationUS float64 `json:"duration_us,omitempty"`
+	// MaxFlowsPerSource caps each (tenant, source) generator as a safety
+	// net against runaway arrival rates (default 10000, 0 keeps the
+	// default; the arrival window is the intended stop condition).
+	MaxFlowsPerSource int `json:"max_flows_per_source,omitempty"`
+	// ExactFCTCap bounds the per-tenant exact FCT sample retention used
+	// for p50/p99/p99.9: up to this many completions per tenant keep raw
+	// samples for exact rank-order quantiles; beyond it the report falls
+	// back to log-bucket estimates (relative error at most
+	// stats.MaxQuantileRelError, ~1.16%). Default 1<<16; -1 disables
+	// exact retention entirely (always bucketed).
+	ExactFCTCap int `json:"exact_fct_cap,omitempty"`
+
+	Tenants []TenantSpec `json:"tenants"`
+}
+
+// TenantSpec describes one tenant of the mix.
+type TenantSpec struct {
+	Name    string      `json:"name"`
+	Arrival ArrivalSpec `json:"arrival"`
+	Size    SizeSpec    `json:"size"`
+	// Admission defaults to {"policy": "always"}; Routing to
+	// {"policy": "uniform"}.
+	Admission PolicySpec `json:"admission,omitempty"`
+	Routing   PolicySpec `json:"routing,omitempty"`
+}
+
+// PolicySpec names a registered policy factory and its parameters.
+type PolicySpec struct {
+	Policy string `json:"policy,omitempty"`
+	Params Params `json:"params,omitempty"`
+}
+
+// ArrivalSpec selects a per-source flow arrival process.
+type ArrivalSpec struct {
+	// Process is "poisson" or "mmpp" (2-state Markov-modulated Poisson:
+	// a base state and a burst state with exponential dwell times).
+	Process string `json:"process"`
+	// RateFPS is the per-source arrival rate in flows per second
+	// (the base-state rate for mmpp).
+	RateFPS float64 `json:"rate_fps"`
+	// BurstRateFPS and the dwell times configure the mmpp burst state.
+	BurstRateFPS float64 `json:"burst_rate_fps,omitempty"`
+	// DwellUS is the mean sojourn in the base state, BurstDwellUS in the
+	// burst state, both in microseconds (defaults 100 and 10).
+	DwellUS      float64 `json:"dwell_us,omitempty"`
+	BurstDwellUS float64 `json:"burst_dwell_us,omitempty"`
+	// DiurnalAmp, in [0, 1), superimposes a sinusoidal rate envelope
+	// rate(t) = rate · (1 + amp·sin(2πt/period)) via Lewis-Shedler
+	// thinning; DiurnalPeriodUS is the period (default 1000 µs). Amp 0
+	// disables the envelope.
+	DiurnalAmp      float64 `json:"diurnal_amp,omitempty"`
+	DiurnalPeriodUS float64 `json:"diurnal_period_us,omitempty"`
+}
+
+// SizeSpec selects a flow-size distribution.
+type SizeSpec struct {
+	// Dist is "pareto" (bounded Pareto), "lognormal" or "fixed".
+	Dist string `json:"dist"`
+	// Alpha, MinBytes, MaxBytes parameterize the bounded Pareto
+	// (defaults: 1.2, 512, 1 MiB — a heavy DCN-like tail).
+	Alpha    float64 `json:"alpha,omitempty"`
+	MinBytes int64   `json:"min_bytes,omitempty"`
+	MaxBytes int64   `json:"max_bytes,omitempty"`
+	// MuLog/SigmaLog parameterize the lognormal (of ln bytes); MaxBytes
+	// caps it when set.
+	MuLog    float64 `json:"mu_log,omitempty"`
+	SigmaLog float64 `json:"sigma_log,omitempty"`
+	// Bytes is the fixed size for "fixed".
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// ParseSpec decodes and validates a workload spec from JSON.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec's static structure. Policy names are resolved at
+// driver build time (against whatever registries the binary linked in).
+func (s Spec) Validate() error {
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("workload: spec %q has no tenants", s.Name)
+	}
+	if s.PacketSize < 0 || s.LinkRateGbps < 0 || s.DurationUS < 0 {
+		return fmt.Errorf("workload: spec %q: negative packet_size/link_rate/duration", s.Name)
+	}
+	seen := map[string]bool{}
+	for i, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("workload: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("workload: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if err := t.Arrival.validate(); err != nil {
+			return fmt.Errorf("workload: tenant %q: %w", t.Name, err)
+		}
+		if err := t.Size.validate(); err != nil {
+			return fmt.Errorf("workload: tenant %q: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+func (a ArrivalSpec) validate() error {
+	switch a.Process {
+	case "poisson":
+		if a.RateFPS <= 0 {
+			return fmt.Errorf("poisson arrival needs rate_fps > 0")
+		}
+	case "mmpp":
+		if a.RateFPS < 0 || a.BurstRateFPS < 0 || a.RateFPS+a.BurstRateFPS == 0 {
+			return fmt.Errorf("mmpp arrival needs a positive rate in at least one state")
+		}
+		if a.DwellUS < 0 || a.BurstDwellUS < 0 {
+			return fmt.Errorf("mmpp dwell times must be non-negative")
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q (poisson, mmpp)", a.Process)
+	}
+	if a.DiurnalAmp < 0 || a.DiurnalAmp >= 1 {
+		return fmt.Errorf("diurnal_amp must be in [0, 1)")
+	}
+	if a.DiurnalPeriodUS < 0 {
+		return fmt.Errorf("diurnal_period_us must be non-negative")
+	}
+	return nil
+}
+
+func (z SizeSpec) validate() error {
+	switch z.Dist {
+	case "pareto":
+		if z.Alpha < 0 {
+			return fmt.Errorf("pareto alpha must be positive")
+		}
+		if z.MinBytes < 0 || z.MaxBytes < 0 {
+			return fmt.Errorf("pareto bounds must be non-negative")
+		}
+		if z.MinBytes > 0 && z.MaxBytes > 0 && z.MinBytes >= z.MaxBytes {
+			return fmt.Errorf("pareto needs min_bytes < max_bytes")
+		}
+	case "lognormal":
+		if z.SigmaLog < 0 {
+			return fmt.Errorf("lognormal sigma_log must be non-negative")
+		}
+	case "fixed":
+		if z.Bytes <= 0 {
+			return fmt.Errorf("fixed size needs bytes > 0")
+		}
+	default:
+		return fmt.Errorf("unknown size dist %q (pareto, lognormal, fixed)", z.Dist)
+	}
+	return nil
+}
+
+// resolved is the spec with every default filled in, used internally by the
+// driver (the caller's Spec value is never written to).
+func (s Spec) resolved() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.PacketSize == 0 {
+		s.PacketSize = 512
+	}
+	if s.LinkRateGbps == 0 {
+		s.LinkRateGbps = 25
+	}
+	if s.DurationUS == 0 {
+		s.DurationUS = 100
+	}
+	if s.MaxFlowsPerSource == 0 {
+		s.MaxFlowsPerSource = 10000
+	}
+	if s.ExactFCTCap == 0 {
+		s.ExactFCTCap = 1 << 16
+	}
+	ts := make([]TenantSpec, len(s.Tenants))
+	copy(ts, s.Tenants)
+	for i := range ts {
+		if ts[i].Admission.Policy == "" {
+			ts[i].Admission.Policy = "always"
+		}
+		if ts[i].Routing.Policy == "" {
+			ts[i].Routing.Policy = "uniform"
+		}
+		a := &ts[i].Arrival
+		if a.Process == "mmpp" {
+			if a.DwellUS == 0 {
+				a.DwellUS = 100
+			}
+			if a.BurstDwellUS == 0 {
+				a.BurstDwellUS = 10
+			}
+		}
+		if a.DiurnalAmp > 0 && a.DiurnalPeriodUS == 0 {
+			a.DiurnalPeriodUS = 1000
+		}
+		z := &ts[i].Size
+		if z.Dist == "pareto" {
+			if z.Alpha == 0 {
+				z.Alpha = 1.2
+			}
+			if z.MinBytes == 0 {
+				z.MinBytes = 512
+			}
+			if z.MaxBytes == 0 {
+				z.MaxBytes = 1 << 20
+			}
+		}
+		if z.Dist == "lognormal" && z.MuLog == 0 && z.SigmaLog == 0 {
+			// ln N(9, 1.5²): median ~8 KB with a fat right tail.
+			z.MuLog, z.SigmaLog = 9, 1.5
+		}
+	}
+	s.Tenants = ts
+	return s
+}

@@ -1,0 +1,167 @@
+// Package workload is the multi-tenant service layer on top of
+// netsim.Network: named tenants generate open-loop request *flows* (arrival
+// process × heavy-tailed size distribution), each flow is admitted or
+// rejected by a pluggable AdmissionPolicy, routed to a destination by a
+// pluggable FlowRoutingPolicy, packetized onto the existing injector path,
+// and accounted into a per-tenant SLO report (p50/p99/p99.9 flow-completion
+// time, goodput, admission-reject rate).
+//
+// Determinism: every (tenant, source) pair owns a forked RNG stream — the
+// same per-source discipline traffic.OpenLoop uses — and all flow state
+// lives either on the source node's shard (generation, admission) or on the
+// destination node's shard (completion accounting; possible because every
+// packet of a flow shares one (src, dst) pair). The SLO report folds
+// per-shard accumulators in a fixed order, so it is bit-identical for any
+// shard count K.
+//
+// Policies are registered by factory name (BLIS-style plugin registry);
+// implementations live in the admission and routing sub-packages so this
+// package, like netsim, stays small. Importing a policy package for effect
+// (blank import) makes its names available to specs.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"baldur/internal/sim"
+)
+
+// Flow is one service request: a tenant-owned transfer of Bytes from Src to
+// Dst, packetized into Packets wire packets.
+type Flow struct {
+	// Tenant is the 0-based index of the owning tenant in the spec.
+	Tenant int
+	// ID is globally unique and deterministic: a function of (tenant, src,
+	// per-source sequence), never of shard count or event order.
+	ID uint64
+	// Src is the generating node; Dst the routed destination (set by the
+	// tenant's FlowRoutingPolicy before admission runs).
+	Src, Dst int
+	// Bytes is the sampled flow size; Packets = ceil(Bytes / packetSize).
+	Bytes   int64
+	Packets int
+	// Arrival is the flow's arrival time at the source.
+	Arrival sim.Time
+}
+
+// AdmissionPolicy decides, at flow arrival, whether a flow enters the
+// network. One policy instance is built per (tenant, source) pair and is
+// only ever called from that source node's shard, so implementations may
+// keep mutable state (token buckets, counters) without synchronization.
+// Admit must be deterministic: a function of the flow and prior Admit calls
+// on the same instance only.
+type AdmissionPolicy interface {
+	Admit(f *Flow) bool
+}
+
+// FlowRoutingPolicy picks a flow's destination. One instance is built per
+// tenant and shared by every source's injector across all shards, so
+// implementations must be immutable after construction; any randomness must
+// come from the caller-supplied rng (the per-(tenant,source) stream), which
+// keeps destination draws independent of shard count.
+type FlowRoutingPolicy interface {
+	// Dest returns the destination node for f (f.Dst is not yet set). It
+	// must return a node in [0, ctx.Nodes) different from f.Src.
+	Dest(f *Flow, rng *sim.RNG) int
+}
+
+// Params carries a policy's free parameters from the JSON spec.
+type Params map[string]float64
+
+// Get returns the named parameter or def when absent.
+func (p Params) Get(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// AdmissionContext is what an admission factory sees at build time.
+type AdmissionContext struct {
+	// Nodes is the network node count; Sources the number of generating
+	// sources (== Nodes). Per-tenant aggregate budgets divide by Sources.
+	Nodes, Sources int
+	// Src is the source node this instance will serve.
+	Src int
+	// Tenant is the 0-based tenant index; TenantName its spec name.
+	Tenant     int
+	TenantName string
+	// LinkRate is the resolved link rate in bits per second.
+	LinkRate float64
+}
+
+// RoutingContext is what a routing factory sees at build time.
+type RoutingContext struct {
+	Nodes      int
+	Tenant     int
+	TenantName string
+	// Seed is a per-tenant derived seed for building fixed structures
+	// (e.g. a permutation). It must not be used for per-flow draws — those
+	// come from the rng passed to Dest.
+	Seed uint64
+}
+
+// AdmissionFactory builds one admission-policy instance for one
+// (tenant, source) pair.
+type AdmissionFactory func(p Params, ctx AdmissionContext) (AdmissionPolicy, error)
+
+// RoutingFactory builds one routing-policy instance for one tenant.
+type RoutingFactory func(p Params, ctx RoutingContext) (FlowRoutingPolicy, error)
+
+var (
+	admissionFactories = map[string]AdmissionFactory{}
+	routingFactories   = map[string]RoutingFactory{}
+)
+
+// RegisterAdmission registers an admission-policy factory under name.
+// Duplicate names panic (registration happens in init functions, where a
+// collision is a programming error).
+func RegisterAdmission(name string, f AdmissionFactory) {
+	if _, dup := admissionFactories[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate admission policy %q", name))
+	}
+	admissionFactories[name] = f
+}
+
+// RegisterRouting registers a flow-routing-policy factory under name.
+func RegisterRouting(name string, f RoutingFactory) {
+	if _, dup := routingFactories[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate routing policy %q", name))
+	}
+	routingFactories[name] = f
+}
+
+// NewAdmission builds the named admission policy. Unknown names list the
+// registered ones, so a spec typo fails with the menu in the error.
+func NewAdmission(name string, p Params, ctx AdmissionContext) (AdmissionPolicy, error) {
+	f, ok := admissionFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown admission policy %q (registered: %v)", name, AdmissionPolicies())
+	}
+	return f(p, ctx)
+}
+
+// NewRouting builds the named routing policy.
+func NewRouting(name string, p Params, ctx RoutingContext) (FlowRoutingPolicy, error) {
+	f, ok := routingFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown routing policy %q (registered: %v)", name, RoutingPolicies())
+	}
+	return f(p, ctx)
+}
+
+// AdmissionPolicies returns the registered admission-policy names, sorted.
+func AdmissionPolicies() []string { return sortedKeys(admissionFactories) }
+
+// RoutingPolicies returns the registered routing-policy names, sorted.
+func RoutingPolicies() []string { return sortedKeys(routingFactories) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"baldur/internal/sim"
+)
+
+// TestHeavyTailSamplerGolden pins the samplers to per-seed golden values:
+// the sampled workload is part of the simulator's reproducibility contract,
+// so a silent change to the inverse-CDF math or the draw order is a
+// regression even if the distribution stays "statistically the same".
+func TestHeavyTailSamplerGolden(t *testing.T) {
+	pareto := SizeSpec{Dist: "pareto", Alpha: 1.2, MinBytes: 512, MaxBytes: 1 << 20}
+	logn := SizeSpec{Dist: "lognormal", MuLog: 9, SigmaLog: 1.5, MaxBytes: 1 << 20}
+	golden := []struct {
+		seed uint64
+		spec SizeSpec
+		want []int64
+	}{
+		{1, pareto, []int64{1408, 944, 1043, 774, 1385, 583}},
+		{42, pareto, []int64{551, 761, 1323, 4413, 27753, 1740}},
+		{1, logn, []int64{136844, 10772, 57133, 462, 15638, 2469}},
+		{42, logn, []int64{2726, 5903, 11299, 17750, 16257, 24624}},
+	}
+	for _, g := range golden {
+		s := newSizeSampler(g.spec)
+		rng := sim.NewRNG(g.seed)
+		for i, want := range g.want {
+			if got := s.Sample(rng); got != want {
+				t.Errorf("%s seed=%d draw %d: %d, want %d", g.spec.Dist, g.seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestArrivalGolden pins the arrival processes the same way.
+func TestArrivalGolden(t *testing.T) {
+	poisson := ArrivalSpec{Process: "poisson", RateFPS: 1e6}
+	mmpp := ArrivalSpec{Process: "mmpp", RateFPS: 2e5, BurstRateFPS: 4e6, DwellUS: 20, BurstDwellUS: 4}
+	golden := []struct {
+		seed uint64
+		spec ArrivalSpec
+		want []int64 // picoseconds
+	}{
+		{1, poisson, []int64{352510, 1005597, 1560539, 2498747, 2859461}},
+		{42, poisson, []int64{2478571, 3448842, 3834441, 3912735, 3920965}},
+		{1, mmpp, []int64{3265436, 7956474, 15411870, 15560553, 15571484}},
+		{42, mmpp, []int64{4851356, 5242824, 5448048, 5582790, 5891675}},
+	}
+	for _, g := range golden {
+		a := newArrival(g.spec)
+		rng := sim.NewRNG(g.seed)
+		var now sim.Time
+		for i, want := range g.want {
+			now = a.Next(now, rng)
+			if int64(now) != want {
+				t.Errorf("%s seed=%d arrival %d: %d, want %d", g.spec.Process, g.seed, i, now, want)
+			}
+		}
+	}
+}
+
+// TestParetoBounds: every draw of the bounded Pareto lies in [min, max].
+func TestParetoBounds(t *testing.T) {
+	s := newSizeSampler(SizeSpec{Dist: "pareto", Alpha: 1.1, MinBytes: 100, MaxBytes: 10000})
+	rng := sim.NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		b := s.Sample(rng)
+		if b < 100 || b > 10000 {
+			t.Fatalf("draw %d: %d outside [100, 10000]", i, b)
+		}
+	}
+}
+
+// TestDiurnalEnvelopeThins: a diurnal envelope must change (reduce vs the
+// peak-rate process) the arrival count while keeping arrivals monotone.
+func TestDiurnalEnvelopeThins(t *testing.T) {
+	flat := newArrival(ArrivalSpec{Process: "poisson", RateFPS: 1e6})
+	diurnal := newArrival(ArrivalSpec{Process: "poisson", RateFPS: 1e6, DiurnalAmp: 0.9, DiurnalPeriodUS: 10})
+	count := func(a arrivalProc, seed uint64) int {
+		rng := sim.NewRNG(seed)
+		var now sim.Time
+		end := sim.Time(0).Add(sim.Microseconds(100))
+		n := 0
+		for {
+			next := a.Next(now, rng)
+			if next <= now {
+				t.Fatalf("arrival went backwards: %v -> %v", now, next)
+			}
+			now = next
+			if now > end {
+				return n
+			}
+			n++
+		}
+	}
+	nf, nd := count(flat, 5), count(diurnal, 5)
+	// Thinning against the peak rate 1.9e6 yields an average rate of 1e6
+	// again, but the draw sequences must differ; just require both to be
+	// plausibly Poisson-sized and distinct.
+	if nf == 0 || nd == 0 || nf == nd {
+		t.Errorf("flat=%d diurnal=%d arrivals: envelope had no effect", nf, nd)
+	}
+}
+
+// TestSpecValidation exercises the error paths a hand-written spec hits.
+func TestSpecValidation(t *testing.T) {
+	good := Spec{Name: "ok", Tenants: []TenantSpec{{
+		Name:    "t",
+		Arrival: ArrivalSpec{Process: "poisson", RateFPS: 1000},
+		Size:    SizeSpec{Dist: "fixed", Bytes: 512},
+	}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Name: "no-tenants"},
+		{Name: "dup", Tenants: []TenantSpec{
+			{Name: "t", Arrival: good.Tenants[0].Arrival, Size: good.Tenants[0].Size},
+			{Name: "t", Arrival: good.Tenants[0].Arrival, Size: good.Tenants[0].Size},
+		}},
+		{Name: "bad-arrival", Tenants: []TenantSpec{{
+			Name: "t", Arrival: ArrivalSpec{Process: "weibull", RateFPS: 1}, Size: good.Tenants[0].Size,
+		}}},
+		{Name: "bad-size", Tenants: []TenantSpec{{
+			Name: "t", Arrival: good.Tenants[0].Arrival, Size: SizeSpec{Dist: "zipf"},
+		}}},
+		{Name: "bad-amp", Tenants: []TenantSpec{{
+			Name:    "t",
+			Arrival: ArrivalSpec{Process: "poisson", RateFPS: 1, DiurnalAmp: 1.5},
+			Size:    good.Tenants[0].Size,
+		}}},
+		{Name: "bad-pareto", Tenants: []TenantSpec{{
+			Name:    "t",
+			Arrival: good.Tenants[0].Arrival,
+			Size:    SizeSpec{Dist: "pareto", MinBytes: 4096, MaxBytes: 512},
+		}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q: expected validation error", s.Name)
+		}
+	}
+}
+
+// TestRegistryUnknownNames: unknown policy names fail with the registered
+// menu in the error, at driver build time.
+func TestRegistryUnknownNames(t *testing.T) {
+	if _, err := NewAdmission("no-such", nil, AdmissionContext{}); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("NewAdmission(no-such) = %v, want registered-names error", err)
+	}
+	if _, err := NewRouting("no-such", nil, RoutingContext{}); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("NewRouting(no-such) = %v, want registered-names error", err)
+	}
+}
+
+// TestSpecResolvedDoesNotMutate: building a driver must leave the caller's
+// spec untouched (the OpenLoop receiver-mutation bug, class-proofed here).
+func TestSpecResolvedDoesNotMutate(t *testing.T) {
+	spec := Spec{Name: "immutability", Tenants: []TenantSpec{{
+		Name:    "t",
+		Arrival: ArrivalSpec{Process: "poisson", RateFPS: 1000},
+		Size:    SizeSpec{Dist: "pareto"},
+	}}}
+	d, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 0 || spec.PacketSize != 0 || spec.LinkRateGbps != 0 || spec.Tenants[0].Admission.Policy != "" || spec.Tenants[0].Size.Alpha != 0 {
+		t.Errorf("New mutated the caller's spec: %+v", spec)
+	}
+	r := d.Spec()
+	if r.Seed != 1 || r.PacketSize != 512 || r.LinkRateGbps != 25 || r.Tenants[0].Admission.Policy != "always" || r.Tenants[0].Size.Alpha != 1.2 {
+		t.Errorf("resolved spec missing defaults: %+v", r)
+	}
+}
+
+// TestFlowIDUnique: flow ids are distinct across tenants, sources and
+// sequences, and never zero.
+func TestFlowIDUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for tenant := int32(0); tenant < 3; tenant++ {
+		for src := 0; src < 64; src++ {
+			for seq := uint64(1); seq <= 4; seq++ {
+				id := flowID(tenant, src, seq)
+				if id == 0 {
+					t.Fatalf("flowID(%d,%d,%d) = 0", tenant, src, seq)
+				}
+				if seen[id] {
+					t.Fatalf("flowID(%d,%d,%d) = %#x collides", tenant, src, seq, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
